@@ -1,0 +1,104 @@
+/// \file ablation_cycle_filters.cc
+/// \brief E11 — ablation of the cycle expander's structural filters.
+///
+/// Sweeps the design choices DESIGN.md calls out: the category-ratio
+/// window (the paper's "around 30%" finding), the extra-edge density
+/// threshold (Fig 9), the length-2 boost (Fig 5), and the cycle-length
+/// budget (Table 4), measuring track-level retrieval quality for each
+/// variant.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "expansion/cycle_expander.h"
+#include "expansion/evaluation.h"
+
+using namespace wqe;
+
+namespace {
+
+void Evaluate(const groundtruth::Pipeline& p, const std::string& label,
+              const expansion::CycleExpanderOptions& options,
+              TablePrinter* table) {
+  expansion::CycleExpander system(&p.kb(), &p.linker(), options);
+  auto eval = expansion::EvaluateExpander(system, p);
+  WQE_CHECK_OK(eval.status());
+  table->AddRow({label, FormatDouble(eval->mean_precision[0], 3),
+                 FormatDouble(eval->mean_precision[1], 3),
+                 FormatDouble(eval->mean_precision[2], 3),
+                 FormatDouble(eval->mean_precision[3], 3),
+                 FormatDouble(eval->mean_o, 3),
+                 FormatDouble(eval->mean_features, 1)});
+}
+
+}  // namespace
+
+int main() {
+  const groundtruth::Pipeline& p = *bench::GetBenchContext().pipeline;
+
+  TablePrinter table("E11 — cycle-expander filter ablation");
+  table.SetHeader({"variant", "P@1", "P@5", "P@10", "P@15", "O (Eq. 1)",
+                   "avg features"});
+
+  expansion::CycleExpanderOptions defaults;
+  Evaluate(p, "defaults", defaults, &table);
+
+  {
+    auto o = defaults;
+    o.min_category_ratio = 0.0;
+    o.max_category_ratio = 1.0;
+    Evaluate(p, "no category-ratio filter", o, &table);
+  }
+  {
+    auto o = defaults;
+    o.min_density = 0.0;
+    Evaluate(p, "no density filter", o, &table);
+  }
+  {
+    auto o = defaults;
+    o.min_density = 0.0;
+    o.min_category_ratio = 0.0;
+    o.max_category_ratio = 1.0;
+    Evaluate(p, "no structural filters", o, &table);
+  }
+  {
+    auto o = defaults;
+    o.two_cycle_weight = 1.0;
+    Evaluate(p, "no length-2 boost", o, &table);
+  }
+  {
+    auto o = defaults;
+    o.max_cycle_length = 3;
+    Evaluate(p, "lengths 2-3 only", o, &table);
+  }
+  {
+    auto o = defaults;
+    o.min_cycle_length = 4;
+    Evaluate(p, "lengths 4-5 only", o, &table);
+  }
+  {
+    auto o = defaults;
+    o.length_decay = 1.0;
+    o.sqrt_count_damping = false;
+    Evaluate(p, "raw cycle counts (no damping)", o, &table);
+  }
+  {
+    auto o = defaults;
+    o.max_features = 4;
+    Evaluate(p, "max 4 features", o, &table);
+  }
+  {
+    auto o = defaults;
+    o.max_features = 16;
+    Evaluate(p, "max 16 features", o, &table);
+  }
+  {
+    auto o = defaults;
+    o.include_redirect_aliases = true;
+    Evaluate(p, "with redirect aliases (par. 4)", o, &table);
+  }
+  table.Print();
+  return 0;
+}

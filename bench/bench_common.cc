@@ -1,0 +1,66 @@
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace wqe::bench {
+
+namespace {
+
+uint32_t EnvOr(const char* name, uint32_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<uint32_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+groundtruth::PipelineOptions BenchPipelineOptions() {
+  groundtruth::PipelineOptions options;
+  options.wiki.num_domains = EnvOr("WQE_BENCH_DOMAINS", 50);
+  options.wiki.seed = EnvOr("WQE_BENCH_SEED", 42);
+  options.track.num_topics = EnvOr("WQE_BENCH_TOPICS", 50);
+  options.track.seed = options.wiki.seed + 7;
+  return options;
+}
+
+const BenchContext& GetBenchContext() {
+  static const BenchContext* kContext = [] {
+    auto* ctx = new BenchContext();
+    Stopwatch watch;
+    groundtruth::PipelineOptions options = BenchPipelineOptions();
+
+    auto pipeline = groundtruth::Pipeline::Build(options);
+    WQE_CHECK_OK(pipeline.status());
+    ctx->pipeline = std::move(*pipeline);
+    WQE_LOG(Info) << "bench context: pipeline built in "
+                  << watch.ElapsedSeconds() << "s";
+
+    watch.Reset();
+    groundtruth::XqOptimizerOptions xq;
+    xq.restarts = 1;
+    xq.enable_swap = false;  // ADD/REMOVE climbs well; SWAP is O(|A'|·|C|)
+    groundtruth::GroundTruthBuilder builder(ctx->pipeline.get(), xq);
+    auto gt = builder.Build();
+    WQE_CHECK_OK(gt.status());
+    ctx->gt = std::move(*gt);
+    WQE_LOG(Info) << "bench context: ground truth built in "
+                  << watch.ElapsedSeconds() << "s";
+
+    watch.Reset();
+    analysis::QueryGraphAnalyzer analyzer(ctx->pipeline.get(), &ctx->gt);
+    auto analyses = analyzer.AnalyzeAll();
+    WQE_CHECK_OK(analyses.status());
+    ctx->analyses = std::move(*analyses);
+    WQE_LOG(Info) << "bench context: query graphs analyzed in "
+                  << watch.ElapsedSeconds() << "s";
+    return ctx;
+  }();
+  return *kContext;
+}
+
+}  // namespace wqe::bench

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file bench_common.h
+/// \brief Shared experiment context for the paper-reproduction benches.
+///
+/// Every table/figure bench builds the same full-size pipeline (50 topics,
+/// as in ImageCLEF 2011), constructs the §2 ground truth, and runs the §3
+/// analysis once; the context is cached across benches within a binary.
+///
+/// Environment overrides (useful for quick runs):
+///   WQE_BENCH_TOPICS   — number of topics (default 50)
+///   WQE_BENCH_DOMAINS  — number of KB domains (default 50)
+///   WQE_BENCH_SEED     — generator seed (default 42)
+
+#include <memory>
+
+#include "analysis/paper_report.h"
+#include "analysis/query_graph_analysis.h"
+#include "common/table_printer.h"
+#include "groundtruth/ground_truth.h"
+#include "groundtruth/pipeline.h"
+
+namespace wqe::bench {
+
+/// \brief Materialized experiment state shared by the benches.
+struct BenchContext {
+  std::unique_ptr<groundtruth::Pipeline> pipeline;
+  groundtruth::GroundTruth gt;
+  std::vector<analysis::TopicAnalysis> analyses;
+};
+
+/// \brief Builds (once) and returns the shared context. Aborts on failure —
+/// benches have no meaningful degraded mode.
+const BenchContext& GetBenchContext();
+
+/// \brief The pipeline options the context was built with (after env
+/// overrides); exposed so perf benches can build scaled variants.
+groundtruth::PipelineOptions BenchPipelineOptions();
+
+}  // namespace wqe::bench

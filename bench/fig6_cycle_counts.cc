@@ -1,0 +1,25 @@
+/// \file fig6_cycle_counts.cc
+/// \brief E5 — regenerates Figure 6: average number of cycles vs length.
+///
+/// Paper reference: 2 → 1.56, 3 → 9.1, 4 → 35.22, 5 → 136.84
+/// (roughly geometric growth with length).
+
+#include "bench/bench_common.h"
+#include "common/string_util.h"
+
+using namespace wqe;
+
+int main() {
+  const bench::BenchContext& ctx = bench::GetBenchContext();
+  analysis::LengthSeries series = analysis::ComputeFig6(ctx.analyses);
+
+  static const char* kPaper[] = {"1.56", "9.1", "35.22", "136.84"};
+  TablePrinter table("Figure 6 — average number of cycles vs cycle length");
+  table.SetHeader({"cycle length", "avg cycles per query", "paper"});
+  for (size_t i = 0; i < series.lengths.size(); ++i) {
+    table.AddRow({std::to_string(series.lengths[i]),
+                  FormatDouble(series.values[i], 2), kPaper[i]});
+  }
+  table.Print();
+  return 0;
+}

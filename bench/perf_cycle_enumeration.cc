@@ -1,0 +1,102 @@
+/// \file perf_cycle_enumeration.cc
+/// \brief E9 (part 2) — cycle-enumeration cost (google-benchmark).
+///
+/// The paper reports that enumerating undirected cycles of length ≤ 5 on
+/// query graphs of ~208 nodes took ~6 minutes per query on a graph
+/// database, and argues this is the open performance challenge.  These
+/// benchmarks measure our in-memory enumerator on (a) generated query
+/// graphs and (b) growing knowledge-base balls, sweeping the maximum cycle
+/// length to expose the exponential growth.
+
+#include <benchmark/benchmark.h>
+
+#include "common/macros.h"
+#include "graph/cycles.h"
+#include "graph/undirected_view.h"
+#include "wiki/synthetic.h"
+
+namespace {
+
+using namespace wqe;
+
+const wiki::SyntheticWikipedia& SharedWiki() {
+  static const wiki::SyntheticWikipedia* kWiki = [] {
+    wiki::SyntheticWikipediaOptions options;
+    options.num_domains = 50;
+    auto result = wiki::GenerateSyntheticWikipedia(options);
+    WQE_CHECK_OK(result.status());
+    return new wiki::SyntheticWikipedia(std::move(result).ValueOrDie());
+  }();
+  return *kWiki;
+}
+
+/// Enumerate cycles (≤ max_length) in a radius-2 ball around a domain hub.
+void BM_CycleEnumerationBall(benchmark::State& state) {
+  const auto& wiki = SharedWiki();
+  uint32_t max_length = static_cast<uint32_t>(state.range(0));
+  size_t ball_cap = static_cast<size_t>(state.range(1));
+
+  std::vector<graph::NodeId> seeds = {wiki.domain_articles[0][0],
+                                      wiki.domain_articles[0][1]};
+  std::vector<graph::NodeId> ball =
+      wiki.kb.Neighborhood(seeds, 2, ball_cap);
+  graph::UndirectedView view(wiki.kb.graph(), ball);
+  graph::CycleEnumerator enumerator(view);
+  graph::CycleEnumerationOptions options;
+  options.max_length = max_length;
+  options.seeds = seeds;
+
+  size_t cycles = 0;
+  for (auto _ : state) {
+    cycles = enumerator.Visit(
+        options, [](const std::vector<uint32_t>&) { return true; });
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["nodes"] = static_cast<double>(view.num_nodes());
+  state.counters["cycles"] = static_cast<double>(cycles);
+}
+
+BENCHMARK(BM_CycleEnumerationBall)
+    ->ArgsProduct({{3, 4, 5}, {100, 200, 400}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Triangle counting on the same balls, for comparison.
+void BM_TriangleBaseline(benchmark::State& state) {
+  const auto& wiki = SharedWiki();
+  size_t ball_cap = static_cast<size_t>(state.range(0));
+  std::vector<graph::NodeId> seeds = {wiki.domain_articles[0][0]};
+  std::vector<graph::NodeId> ball = wiki.kb.Neighborhood(seeds, 2, ball_cap);
+  graph::UndirectedView view(wiki.kb.graph(), ball);
+  graph::CycleEnumerator enumerator(view);
+  graph::CycleEnumerationOptions options;
+  options.min_length = 3;
+  options.max_length = 3;
+
+  for (auto _ : state) {
+    size_t n = enumerator.Visit(
+        options, [](const std::vector<uint32_t>&) { return true; });
+    benchmark::DoNotOptimize(n);
+  }
+}
+
+BENCHMARK(BM_TriangleBaseline)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+/// View construction cost (the per-query preprocessing).
+void BM_UndirectedViewBuild(benchmark::State& state) {
+  const auto& wiki = SharedWiki();
+  std::vector<graph::NodeId> seeds = {wiki.domain_articles[0][0]};
+  std::vector<graph::NodeId> ball =
+      wiki.kb.Neighborhood(seeds, 2, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    graph::UndirectedView view(wiki.kb.graph(), ball);
+    benchmark::DoNotOptimize(view.num_nodes());
+  }
+}
+
+BENCHMARK(BM_UndirectedViewBuild)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+#include "analysis/query_graph_analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "groundtruth/xq_optimizer.h"
+
+namespace wqe::analysis {
+
+size_t TopicAnalysis::CountCycles(uint32_t length) const {
+  size_t n = 0;
+  for (const CycleRecord& r : cycles) {
+    if (r.cycle.length() == length) ++n;
+  }
+  return n;
+}
+
+Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
+  if (topic_index >= gt_->entries.size()) {
+    return Status::OutOfRange("topic index ", topic_index, " out of range");
+  }
+  const groundtruth::GroundTruthEntry& entry = gt_->entries[topic_index];
+  // Qrels are looked up by the entry's own track index, which may differ
+  // from its position in this (possibly partial) ground truth.
+  const size_t track_index = entry.topic_index;
+  const groundtruth::QueryGraph& qg = entry.graph;
+  const graph::PropertyGraph& g = qg.sub.graph;
+
+  TopicAnalysis out;
+  out.topic_index = topic_index;
+
+  // --- Largest connected component (Table 3). ---
+  graph::UndirectedView view(g);
+  graph::ComponentsResult comps = graph::ConnectedComponents(view);
+  out.component.graph_size = g.num_nodes();
+  out.component.num_components = comps.num_components();
+  if (g.num_nodes() > 0 && comps.num_components() > 0) {
+    std::vector<uint32_t> cc = comps.LargestComponent();
+    std::unordered_set<uint32_t> cc_set(cc.begin(), cc.end());
+    out.component.relative_size =
+        static_cast<double>(cc.size()) / static_cast<double>(g.num_nodes());
+
+    size_t articles = 0, categories = 0;
+    for (uint32_t local : cc) {
+      if (g.IsArticle(local)) {
+        ++articles;
+      } else {
+        ++categories;
+      }
+    }
+    out.component.article_ratio =
+        static_cast<double>(articles) / static_cast<double>(cc.size());
+    out.component.category_ratio =
+        static_cast<double>(categories) / static_cast<double>(cc.size());
+
+    size_t query_in_cc = 0;
+    for (NodeId q : qg.LocalQueryArticles()) {
+      uint32_t local = view.ToLocal(q);
+      if (local != UINT32_MAX && cc_set.count(local)) ++query_in_cc;
+    }
+    out.component.query_node_ratio =
+        qg.query_articles.empty()
+            ? 0.0
+            : static_cast<double>(query_in_cc) /
+                  static_cast<double>(qg.query_articles.size());
+
+    size_t expansion_in_cc = 0;
+    for (NodeId a : qg.expansion_articles) {
+      NodeId local_node = qg.sub.Local(a);
+      if (local_node == graph::kInvalidNode) continue;
+      uint32_t local = view.ToLocal(local_node);
+      if (local != UINT32_MAX && cc_set.count(local)) ++expansion_in_cc;
+    }
+    out.component.expansion_ratio =
+        query_in_cc == 0 ? 0.0
+                         : static_cast<double>(expansion_in_cc) /
+                               static_cast<double>(query_in_cc);
+    out.component.tpr = graph::TriangleParticipationRatio(view, cc);
+  }
+
+  // --- Cycles touching a query article. ---
+  graph::CycleEnumerationOptions cycle_options;
+  cycle_options.min_length = kMinCycleLength;
+  cycle_options.max_length = kMaxCycleLength;
+  cycle_options.seeds = qg.LocalQueryArticles();
+  graph::CycleEnumerator enumerator(view);
+  std::vector<graph::Cycle> cycles = enumerator.Enumerate(cycle_options);
+
+  // Contribution: O(L(q.k) ∪ articles(C)) vs O(L(q.k)); categories in C are
+  // ignored (paper footnote 3). Memoized by article set.
+  groundtruth::XqOptimizer evaluator(&pipeline_->engine(), &pipeline_->kb());
+  WQE_ASSIGN_OR_RETURN(
+      out.baseline_quality,
+      evaluator.EvaluateArticles(entry.query_articles,
+                                 pipeline_->relevant(track_index)));
+
+  std::unordered_map<std::string, double> memo;
+  size_t scored = 0;
+  for (graph::Cycle& cycle : cycles) {
+    CycleRecord record;
+    // Map local ids back to KB ids.
+    for (NodeId& n : cycle.nodes) n = qg.sub.to_parent[n];
+    record.metrics = ComputeCycleMetrics(pipeline_->kb().graph(), cycle);
+
+    // Articles of this cycle (KB ids), for Table 4's length buckets.
+    std::vector<NodeId> cycle_articles;
+    bool introduces_feature = false;
+    for (NodeId n : cycle.nodes) {
+      if (!pipeline_->kb().graph().IsArticle(n)) continue;
+      cycle_articles.push_back(n);
+      if (std::find(entry.query_articles.begin(), entry.query_articles.end(),
+                    n) == entry.query_articles.end()) {
+        introduces_feature = true;
+      }
+    }
+    // Cycles whose articles are all query articles introduce no expansion
+    // feature; they say nothing about feature quality, so they are
+    // excluded from the records (their "contribution" is 0 by definition).
+    if (!introduces_feature) continue;
+    auto& bucket = out.articles_by_length[cycle.length()];
+    for (NodeId a : cycle_articles) {
+      if (std::find(bucket.begin(), bucket.end(), a) == bucket.end()) {
+        bucket.push_back(a);
+      }
+    }
+
+    bool score_this = options_.max_scored_cycles == 0 ||
+                      scored < options_.max_scored_cycles;
+    if (score_this) {
+      ++scored;
+      std::vector<NodeId> with_cycle = entry.query_articles;
+      for (NodeId a : cycle_articles) {
+        if (std::find(entry.query_articles.begin(),
+                      entry.query_articles.end(),
+                      a) == entry.query_articles.end()) {
+          with_cycle.push_back(a);
+        }
+      }
+      std::sort(with_cycle.begin() + static_cast<ptrdiff_t>(
+                                         entry.query_articles.size()),
+                with_cycle.end());
+      std::string key;
+      for (NodeId n : with_cycle) {
+        key += std::to_string(n);
+        key += ",";
+      }
+      auto it = memo.find(key);
+      double quality;
+      if (it != memo.end()) {
+        quality = it->second;
+      } else {
+        WQE_ASSIGN_OR_RETURN(
+            quality, evaluator.EvaluateArticles(
+                         with_cycle, pipeline_->relevant(track_index)));
+        memo.emplace(std::move(key), quality);
+      }
+      // "Percentual difference" interpreted as percentage points of O
+      // (bounded in [-100, 100]); the relative reading explodes for
+      // near-zero baselines and makes topics incomparable.
+      record.contribution = 100.0 * (quality - out.baseline_quality);
+    }
+    record.cycle = std::move(cycle);
+    out.cycles.push_back(std::move(record));
+  }
+  return out;
+}
+
+Result<std::vector<TopicAnalysis>> QueryGraphAnalyzer::AnalyzeAll() const {
+  std::vector<TopicAnalysis> out;
+  out.reserve(gt_->entries.size());
+  for (size_t t = 0; t < gt_->entries.size(); ++t) {
+    WQE_ASSIGN_OR_RETURN(TopicAnalysis a, Analyze(t));
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace wqe::analysis

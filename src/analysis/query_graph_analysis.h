@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file query_graph_analysis.h
+/// \brief Per-topic structural analysis of query graphs (paper §3).
+///
+/// For one topic's G(q) this computes: largest-connected-component ratios
+/// (Table 3 inputs), triangle participation, and the full set of cycles of
+/// length 2–5 touching a query article, each with its structural metrics
+/// and its *contribution* — the change of O (Equation 1) when the cycle's
+/// articles are added to the query, in percentage points (Figure 5/9
+/// inputs; the paper's "percentual difference" read as points keeps
+/// topics with different baselines comparable).
+
+#include <array>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/connected_components.h"
+#include "graph/cycle_metrics.h"
+#include "graph/cycles.h"
+#include "graph/triangles.h"
+#include "groundtruth/ground_truth.h"
+#include "groundtruth/pipeline.h"
+
+namespace wqe::analysis {
+
+using graph::NodeId;
+
+/// \brief Smallest/largest cycle length analyzed (paper bound).
+inline constexpr uint32_t kMinCycleLength = 2;
+inline constexpr uint32_t kMaxCycleLength = 5;
+
+/// \brief Largest-connected-component measurements (one Table 3 row set).
+struct ComponentStats {
+  double relative_size = 0.0;     ///< |CC| / |G(q)|
+  double query_node_ratio = 0.0;  ///< fraction of L(q.k) inside the CC
+  double article_ratio = 0.0;     ///< articles / |CC|
+  double category_ratio = 0.0;    ///< categories / |CC|
+  double expansion_ratio = 0.0;   ///< |A' ∩ CC| / |L(q.k) ∩ CC| (0: no query node)
+  double tpr = 0.0;               ///< triangle participation ratio of the CC
+  size_t graph_size = 0;          ///< |G(q)|
+  size_t num_components = 0;
+};
+
+/// \brief One analyzed cycle.
+struct CycleRecord {
+  graph::Cycle cycle;             ///< KB node ids
+  graph::CycleMetrics metrics;
+  double contribution = 0.0;      ///< % change of O when added to L(q.k)
+};
+
+/// \brief Analysis output for one topic.
+struct TopicAnalysis {
+  size_t topic_index = 0;
+  ComponentStats component;
+  std::vector<CycleRecord> cycles;
+  double baseline_quality = 0.0;  ///< O(L(q.k), D)
+
+  /// KB article ids found in cycles, bucketed by cycle length (index 0
+  /// unused; lengths 2..5).
+  std::array<std::vector<NodeId>, kMaxCycleLength + 1> articles_by_length;
+
+  /// \brief Cycles of one length.
+  size_t CountCycles(uint32_t length) const;
+};
+
+/// \brief Analyzer options.
+struct AnalyzerOptions {
+  /// Contribution is expensive (one retrieval per distinct article set);
+  /// cap the number of cycles scored per topic (0 = unlimited). Cycle
+  /// *counts* (Fig 6) always use the full enumeration.
+  size_t max_scored_cycles = 4000;
+};
+
+/// \brief Per-topic analyzer bound to a pipeline + ground truth.
+class QueryGraphAnalyzer {
+ public:
+  QueryGraphAnalyzer(const groundtruth::Pipeline* pipeline,
+                     const groundtruth::GroundTruth* gt,
+                     AnalyzerOptions options = {})
+      : pipeline_(pipeline), gt_(gt), options_(options) {}
+
+  /// \brief Full analysis of one topic.
+  Result<TopicAnalysis> Analyze(size_t topic_index) const;
+
+  /// \brief Analyses for all topics.
+  Result<std::vector<TopicAnalysis>> AnalyzeAll() const;
+
+ private:
+  const groundtruth::Pipeline* pipeline_;
+  const groundtruth::GroundTruth* gt_;
+  AnalyzerOptions options_;
+};
+
+}  // namespace wqe::analysis

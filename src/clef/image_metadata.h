@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file image_metadata.h
+/// \brief ImageCLEF 2011-style image metadata documents (paper Figure 2).
+///
+/// Each benchmark document is an XML metadata file describing one image:
+/// a file name, per-language text sections (description, comment,
+/// captions), a general comment carrying a `{{Information ...}}` template,
+/// and a license.  §2.1 of the paper extracts three items before entity
+/// linking: ① the file name without extension, ② the English section, and
+/// ③ the Description field of the general comment — `ExtractLinkedText`
+/// reproduces exactly that.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wqe::clef {
+
+/// \brief One `<caption article="...">` entry.
+struct ImageCaption {
+  std::string article_ref;  ///< e.g. "text/en/1/302887"
+  std::string text;
+};
+
+/// \brief One `<text xml:lang="...">` section.
+struct LanguageSection {
+  std::string lang;         ///< "en", "de", "fr", ...
+  std::string description;
+  std::string comment;
+  std::vector<ImageCaption> captions;
+};
+
+/// \brief Whole metadata file.
+struct ImageMetadata {
+  uint32_t id = 0;
+  std::string file;            ///< e.g. "images/9/82531.jpg"
+  std::string name;            ///< e.g. "Field Hamois Belgium.jpg"
+  std::vector<LanguageSection> sections;
+  std::string general_comment; ///< `({{Information |Description= ... }})`
+  std::string license;         ///< e.g. "GFDL"
+
+  /// \brief Serializes to the Figure 2 XML layout.
+  std::string ToXml() const;
+
+  /// \brief Finds a section by language; nullptr when absent.
+  const LanguageSection* FindSection(std::string_view lang) const;
+};
+
+/// \brief Parses a metadata XML file.
+Result<ImageMetadata> ParseImageMetadata(std::string_view xml);
+
+/// \brief §2.1 extraction: name without extension ⊕ English section text ⊕
+/// the Description field of the general comment, joined with spaces.
+std::string ExtractLinkedText(const ImageMetadata& meta);
+
+/// \brief Pulls the `|Description=` value out of an
+/// `({{Information |Description= X |Source= ... }})` template; empty when
+/// the template or field is missing.
+std::string ExtractTemplateDescription(std::string_view general_comment);
+
+}  // namespace wqe::clef

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file track_generator.h
+/// \brief Synthetic ImageCLEF-style track with planted relevance structure.
+///
+/// Substitute for the ImageCLEF 2011 collection (see DESIGN.md §2).  For
+/// each topic the generator picks a knowledge-base domain and three article
+/// strata around the topic's query articles Q:
+///
+///  - **core** articles: mutual-link partners of Q — these sit in length-2
+///    cycles and tight triangles with Q, and are mentioned densely in most
+///    relevant documents (they sharpen top-1/top-5 precision);
+///  - **peripheral** articles: related through shared categories or
+///    one-directional links — they sit in category-bridged cycles of
+///    length 3–5 and are mentioned in "tail" relevant documents that avoid
+///    core vocabulary (they widen top-10/top-15);
+///  - **weak** articles: same-domain decoys with no direct relation to Q —
+///    they appear in *both* some relevant documents (putting them into
+///    L(q.D)) and in many distractor documents (making them harmful
+///    expansion features the optimizer must reject).
+///
+/// Distractor documents contain the exact query phrases amid foreign-topic
+/// text, recreating the paper's premise that unexpanded keyword queries
+/// are imprecise; non-English sections carry misleading foreign-domain
+/// titles, which exercises the §2.1 rule that only the English section is
+/// linked.
+
+#include <vector>
+
+#include "clef/track.h"
+#include "common/result.h"
+#include "wiki/synthetic.h"
+
+namespace wqe::clef {
+
+/// \brief Generator parameters.
+struct TrackGeneratorOptions {
+  uint64_t seed = 7;
+  uint32_t num_topics = 50;
+
+  /// Relevant documents per topic: uniform in [min, max].
+  uint32_t min_relevant_docs = 25;
+  uint32_t max_relevant_docs = 40;
+
+  /// Distractor documents per topic.
+  uint32_t distractors_per_topic = 24;
+
+  /// Topic-independent background documents.
+  uint32_t background_docs = 600;
+
+  /// Fraction of relevant documents that are "core" documents (the rest
+  /// are vocabulary-mismatch tail documents).
+  double core_doc_fraction = 0.45;
+
+  /// Probability a relevant document mentions a query title verbatim.
+  /// High enough that the unexpanded query has non-trivial precision —
+  /// keeping per-cycle contributions (Figures 5/9) in the paper's range
+  /// rather than exploding against a near-zero baseline.
+  double query_title_in_core_doc_prob = 0.4;
+  double query_title_in_tail_doc_prob = 0.15;
+
+  /// Probability a mention uses a redirect alias instead of the main
+  /// title (exercises the synonym-linking path).
+  double alias_mention_prob = 0.20;
+
+  /// Probability a relevant document also mentions a weak decoy.
+  double weak_in_relevant_prob = 0.30;
+
+  /// Probability a relevant document mentions one article from a *foreign*
+  /// domain.  Such articles enter L(q.D) and often X(q), but their
+  /// categories do not connect to the topic domain — producing the
+  /// disconnected satellite components the paper observes in query graphs
+  /// (Figure 3, Table 3's %size < 1).
+  double foreign_mention_prob = 0.25;
+
+  /// Strata sizes.
+  uint32_t max_core_articles = 8;
+  uint32_t max_peripheral_articles = 14;
+  uint32_t max_weak_articles = 4;
+};
+
+/// \brief Generates the full track against a synthetic knowledge base.
+Result<Track> GenerateTrack(const wiki::SyntheticWikipedia& wiki,
+                            const TrackGeneratorOptions& options);
+
+}  // namespace wqe::clef

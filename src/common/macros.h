@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file macros.h
+/// \brief Control-flow helpers for Status/Result propagation.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/status.h"
+
+#define WQE_CONCAT_IMPL(x, y) x##y
+#define WQE_CONCAT(x, y) WQE_CONCAT_IMPL(x, y)
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define WQE_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::wqe::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T> expression); on success assigns the value
+/// to `lhs`, otherwise returns the error status from the enclosing function.
+#define WQE_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  WQE_ASSIGN_OR_RETURN_IMPL(WQE_CONCAT(_wqe_result_, __LINE__), lhs, rexpr)
+
+#define WQE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).ValueOrDie()
+
+/// Aborts the process when `expr` is not OK.  For use in main()s, benches
+/// and tests where an error is unrecoverable.
+#define WQE_CHECK_OK(expr)                                            \
+  do {                                                                \
+    ::wqe::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                  \
+      std::cerr << __FILE__ << ":" << __LINE__                        \
+                << " WQE_CHECK_OK failed: " << _st << std::endl;      \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+
+/// Aborts the process when `cond` is false.
+#define WQE_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::cerr << __FILE__ << ":" << __LINE__                         \
+                << " WQE_CHECK failed: " #cond << std::endl;           \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)

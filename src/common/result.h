@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file result.h
+/// \brief `Result<T>`: a value-or-Status union for fallible producers.
+///
+/// Mirrors `arrow::Result`.  A `Result<T>` holds either a `T` or a non-OK
+/// `Status`.  Accessing the value of an errored result aborts (programming
+/// error); use `ok()` or the `WQE_ASSIGN_OR_RETURN` macro (macros.h).
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace wqe {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      Fail("constructed Result<T> from an OK Status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief Borrows the value; aborts if this result holds an error.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return std::get<T>(repr_);
+  }
+  /// \brief Moves the value out; aborts if this result holds an error.
+  T ValueOrDie() && {
+    EnsureOk();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// \brief Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) Fail(std::get<Status>(repr_).ToString().c_str());
+  }
+  [[noreturn]] static void Fail(const char* what) {
+    std::cerr << "Result<T>: value access on error: " << what << std::endl;
+    std::abort();
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace wqe

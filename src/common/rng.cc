@@ -1,0 +1,145 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace wqe {
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t oldstate = state_;
+  state_ = oldstate * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted =
+      static_cast<uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(oldstate >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t hi = NextU32();
+  uint64_t lo = NextU32();
+  return (hi << 32) | lo;
+}
+
+uint32_t Rng::Uniform(uint32_t bound) {
+  WQE_CHECK(bound > 0);
+  // Lemire's nearly-divisionless method with rejection.
+  uint64_t m = static_cast<uint64_t>(NextU32()) * bound;
+  uint32_t l = static_cast<uint32_t>(m);
+  if (l < bound) {
+    uint32_t t = -bound % bound;
+    while (l < t) {
+      m = static_cast<uint64_t>(NextU32()) * bound;
+      l = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  WQE_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(NextU64());
+  }
+  // 64-bit rejection sampling.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t x;
+  do {
+    x = NextU64();
+  } while (x >= limit);
+  return lo + static_cast<int64_t>(x % span);
+}
+
+double Rng::NextDouble() {
+  return (NextU64() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+uint32_t Rng::Zipf(uint32_t n, double s) {
+  WQE_CHECK(n > 0);
+  if (n == 1) return 0;
+  // Rejection-inversion sampling (Hormann & Derflinger) for a Zipf law on
+  // ranks 1..n; returned 0-based.
+  const double sm1 = 1.0 - s;
+  auto h = [&](double x) {
+    if (std::abs(sm1) < 1e-12) return std::log(x);
+    return std::pow(x, sm1) / sm1;
+  };
+  auto h_inv = [&](double x) {
+    if (std::abs(sm1) < 1e-12) return std::exp(x);
+    return std::pow(sm1 * x, 1.0 / sm1);
+  };
+  const double hx0 = h(0.5) - 1.0;
+  const double hn = h(n + 0.5);
+  for (;;) {
+    double u = hx0 + NextDouble() * (hn - hx0);
+    double x = h_inv(u);
+    uint32_t k = static_cast<uint32_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    if (u >= h(k + 0.5) - std::pow(k, -s)) continue;
+    return k - 1;
+  }
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return mean + stddev * spare_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_gaussian_ = true;
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  WQE_CHECK(k <= n);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Reservoir sampling ("Algorithm R"): O(n) but allocation-free beyond the
+  // reservoir; fine for the sizes used here.
+  for (uint32_t i = 0; i < n; ++i) {
+    if (out.size() < k) {
+      out.push_back(i);
+    } else {
+      uint32_t j = Uniform(i + 1);
+      if (j < k) out[j] = i;
+    }
+  }
+  return out;
+}
+
+size_t Rng::WeightedChoice(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  WQE_CHECK(total > 0.0);
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t stream_tag) {
+  uint64_t child_seed = NextU64();
+  return Rng(child_seed, stream_tag * 2654435761ULL + 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace wqe

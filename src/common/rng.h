@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation (PCG32).
+///
+/// All stochastic components of the library (the synthetic Wikipedia
+/// generator, the CLEF track generator, the ground-truth optimizer's
+/// restarts) draw from this generator so that a single 64-bit seed fully
+/// determines every experiment.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wqe {
+
+/// \brief PCG32 (XSH-RR 64/32) generator: small state, good statistical
+/// quality, fully deterministic across platforms.
+class Rng {
+ public:
+  /// Constructs a generator from a seed and an optional stream id.  Two
+  /// generators with the same seed but different streams are independent.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  /// \brief Next 32 uniform random bits.
+  uint32_t NextU32();
+
+  /// \brief Next 64 uniform random bits.
+  uint64_t NextU64();
+
+  /// \brief Uniform integer in `[0, bound)`; `bound` must be > 0.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  uint32_t Uniform(uint32_t bound);
+
+  /// \brief Uniform integer in `[lo, hi]` (inclusive). Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in `[0, 1)`.
+  double NextDouble();
+
+  /// \brief Bernoulli trial with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// \brief Zipf-distributed integer in `[0, n)` with exponent `s`.
+  ///
+  /// Used to give the synthetic Wikipedia its heavy-tailed degree
+  /// distribution. Implemented by inverse-CDF over precomputed weights for
+  /// small n, rejection sampling for large n.
+  uint32_t Zipf(uint32_t n, double s);
+
+  /// \brief Gaussian sample via Box–Muller.
+  double Gaussian(double mean, double stddev);
+
+  /// \brief Samples `k` distinct indices from `[0, n)` (reservoir when
+  /// k << n). Result order is unspecified but deterministic.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// \brief Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (uint32_t i = static_cast<uint32_t>(v->size()) - 1; i > 0; --i) {
+      uint32_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// \brief Picks an index in `[0, weights.size())` with probability
+  /// proportional to `weights[i]`. Requires a positive total weight.
+  size_t WeightedChoice(const std::vector<double>& weights);
+
+  /// \brief Derives an independent child generator; used to give each
+  /// module / query its own deterministic stream.
+  Rng Fork(uint64_t stream_tag);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace wqe

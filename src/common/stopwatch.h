@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file stopwatch.h
+/// \brief Wall-clock timing for the performance experiments (E9).
+
+#include <chrono>
+
+namespace wqe {
+
+/// \brief Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// \brief Restarts the clock.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Seconds elapsed since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Milliseconds elapsed since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wqe

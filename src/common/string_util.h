@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file string_util.h
+/// \brief Small string helpers shared across modules.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wqe {
+
+/// \brief ASCII lowercase (non-ASCII bytes pass through unchanged).
+std::string ToLower(std::string_view s);
+
+/// \brief ASCII uppercase (non-ASCII bytes pass through unchanged).
+std::string ToUpper(std::string_view s);
+
+/// \brief Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits on any run of ASCII whitespace; empty fields dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// \brief Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True when `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// \brief Case-insensitive (ASCII) equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief 64-bit FNV-1a hash; stable across platforms, used for
+/// deterministic bucketing and title fingerprints.
+uint64_t Fnv1a64(std::string_view s);
+
+/// \brief Formats a double with fixed precision (no locale surprises).
+std::string FormatDouble(double v, int precision);
+
+/// \brief Wikipedia-style title normalization: trim, collapse internal
+/// whitespace/underscores to single spaces, lowercase.
+///
+/// Real Wikipedia capitalizes the first letter and is case-sensitive beyond
+/// it; for entity linking the paper matches titles against free text, so we
+/// normalize fully to lowercase on both sides.
+std::string NormalizeTitle(std::string_view s);
+
+}  // namespace wqe

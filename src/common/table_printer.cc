@@ -1,0 +1,90 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace wqe {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  // Column widths over header + all rows.
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << "  ";
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(width[i] - row[i].size(), ' ');
+      }
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < ncols; ++i) total += width[i] + (i > 0 ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string TablePrinter::RenderCsv() const {
+  std::ostringstream out;
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += "\"\"";
+      else q.push_back(c);
+    }
+    q += "\"";
+    return q;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ",";
+      out << quote(row[i]);
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::cout << Render() << std::flush; }
+
+}  // namespace wqe

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file table_printer.h
+/// \brief Aligned console tables for the bench harnesses.
+///
+/// Every bench binary that regenerates a paper table/figure prints its rows
+/// through this printer so output is uniform and diffable, and can also emit
+/// CSV for plotting.
+
+#include <string>
+#include <vector>
+
+namespace wqe {
+
+/// \brief Collects rows of string cells and renders them aligned.
+class TablePrinter {
+ public:
+  /// \param title caption printed above the table.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// \brief Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// \brief Appends one data row; cell count should match the header (short
+  /// rows are padded with empty cells).
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Convenience: formats doubles to `precision` and appends.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// \brief Renders the aligned table.
+  std::string Render() const;
+
+  /// \brief Renders the table as CSV (header + rows).
+  std::string RenderCsv() const;
+
+  /// \brief Renders to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wqe

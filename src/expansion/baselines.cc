@@ -1,0 +1,95 @@
+#include "expansion/baselines.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/undirected_view.h"
+
+namespace wqe::expansion {
+
+Result<std::vector<NodeId>> NoExpansion::SelectFeatures(
+    const std::vector<NodeId>& query_articles) const {
+  (void)query_articles;
+  return std::vector<NodeId>{};
+}
+
+Result<std::vector<NodeId>> DirectLinkExpansion::SelectFeatures(
+    const std::vector<NodeId>& query_articles) const {
+  std::unordered_set<NodeId> query_set(query_articles.begin(),
+                                       query_articles.end());
+  // Candidate -> (mutual?, first-seen order).
+  struct Candidate {
+    NodeId article;
+    bool mutual;
+    size_t order;
+  };
+  std::vector<Candidate> candidates;
+  std::unordered_set<NodeId> seen;
+  for (NodeId q : query_articles) {
+    for (NodeId out : kb().LinkedFrom(q)) {
+      if (query_set.count(out) || !seen.insert(out).second) continue;
+      bool mutual =
+          kb().graph().HasEdge(out, q, graph::EdgeKind::kLink);
+      candidates.push_back(Candidate{out, mutual, candidates.size()});
+    }
+  }
+  if (options_.prioritize_mutual) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.mutual > b.mutual;
+                     });
+  }
+  std::vector<NodeId> features;
+  for (const Candidate& c : candidates) {
+    if (features.size() >= options_.max_features) break;
+    features.push_back(c.article);
+  }
+  return features;
+}
+
+Result<std::vector<NodeId>> CommunityExpansion::SelectFeatures(
+    const std::vector<NodeId>& query_articles) const {
+  std::vector<NodeId> ball = kb().Neighborhood(
+      query_articles, options_.neighborhood_radius, options_.max_neighborhood);
+  graph::UndirectedView view(kb().graph(), ball);
+
+  std::unordered_set<uint32_t> query_local;
+  for (NodeId q : query_articles) {
+    uint32_t l = view.ToLocal(q);
+    if (l != UINT32_MAX) query_local.insert(l);
+  }
+
+  // Triangle support: candidate c gains one unit per triangle {q, x, c}
+  // with q a query article.
+  std::unordered_map<NodeId, double> support;
+  for (uint32_t q : query_local) {
+    const auto& nq = view.Neighbors(q);
+    for (size_t i = 0; i < nq.size(); ++i) {
+      for (size_t j = i + 1; j < nq.size(); ++j) {
+        if (!view.HasEdge(nq[i], nq[j])) continue;
+        for (uint32_t corner : {nq[i], nq[j]}) {
+          if (query_local.count(corner)) continue;
+          NodeId global = view.ToGlobal(corner);
+          if (!kb().graph().IsArticle(global)) continue;
+          support[global] += 1.0;
+        }
+      }
+    }
+  }
+  std::vector<std::pair<NodeId, double>> ranked(support.begin(),
+                                                support.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<NodeId> features;
+  for (const auto& [article, s] : ranked) {
+    (void)s;
+    if (features.size() >= options_.max_features) break;
+    features.push_back(article);
+  }
+  return features;
+}
+
+}  // namespace wqe::expansion

@@ -1,0 +1,122 @@
+#include "expansion/cycle_expander.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/cycles.h"
+#include "graph/undirected_view.h"
+
+namespace wqe::expansion {
+
+bool CycleExpander::AcceptsCycle(const graph::CycleMetrics& metrics) const {
+  if (metrics.length < options_.min_cycle_length ||
+      metrics.length > options_.max_cycle_length) {
+    return false;
+  }
+  if (metrics.length == 2) return true;
+  if (metrics.category_ratio < options_.min_category_ratio ||
+      metrics.category_ratio > options_.max_category_ratio) {
+    return false;
+  }
+  if (metrics.length >= options_.min_density_from_length &&
+      metrics.extra_edge_density < options_.min_density) {
+    return false;
+  }
+  return true;
+}
+
+Result<std::vector<NodeId>> CycleExpander::SelectFeatures(
+    const std::vector<NodeId>& query_articles) const {
+  // 1. Neighborhood ball.
+  std::vector<NodeId> ball = kb().Neighborhood(
+      query_articles, options_.neighborhood_radius, options_.max_neighborhood);
+
+  // 2. Cycles through a query article.
+  graph::UndirectedView view(kb().graph(), ball);
+  graph::CycleEnumerationOptions enum_options;
+  enum_options.min_length = options_.min_cycle_length;
+  enum_options.max_length = options_.max_cycle_length;
+  enum_options.seeds = query_articles;
+  enum_options.max_cycles = options_.max_cycles;
+  graph::CycleEnumerator enumerator(view);
+
+  // 3. Accumulate per-article, per-length quality-weighted cycle counts.
+  struct PerLength {
+    std::array<double, 6> weight_sum{};  // index = cycle length (2..5)
+    std::array<uint32_t, 6> count{};
+  };
+  std::unordered_map<NodeId, PerLength> tallies;
+  enumerator.Visit(enum_options, [&](const std::vector<uint32_t>& local) {
+    graph::Cycle cycle;
+    cycle.nodes.reserve(local.size());
+    for (uint32_t l : local) cycle.nodes.push_back(view.ToGlobal(l));
+    graph::CycleMetrics metrics =
+        graph::ComputeCycleMetrics(kb().graph(), cycle);
+    if (!AcceptsCycle(metrics)) return true;
+
+    double quality = metrics.length == 2
+                         ? options_.two_cycle_weight
+                         : 1.0 + metrics.extra_edge_density;
+    for (NodeId n : cycle.nodes) {
+      if (!kb().graph().IsArticle(n)) continue;
+      if (std::find(query_articles.begin(), query_articles.end(), n) !=
+          query_articles.end()) {
+        continue;
+      }
+      PerLength& t = tallies[n];
+      t.weight_sum[metrics.length] += quality;
+      ++t.count[metrics.length];
+    }
+    return true;
+  });
+
+  // 4. Score: decayed by length, damped by sqrt of the count so that one
+  // rare tight structure outranks dozens of loose long cycles.
+  std::vector<std::pair<NodeId, double>> ranked;
+  ranked.reserve(tallies.size());
+  for (const auto& [article, t] : tallies) {
+    double score = 0.0;
+    for (uint32_t len = 2; len <= 5; ++len) {
+      if (t.count[len] == 0) continue;
+      double mean_quality =
+          t.weight_sum[len] / static_cast<double>(t.count[len]);
+      double volume = options_.sqrt_count_damping
+                          ? std::sqrt(static_cast<double>(t.count[len]))
+                          : static_cast<double>(t.count[len]);
+      score += std::pow(options_.length_decay, static_cast<double>(len - 2)) *
+               mean_quality * volume;
+    }
+    ranked.emplace_back(article, score);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::vector<NodeId> features;
+  for (const auto& [article, weight] : ranked) {
+    (void)weight;
+    if (features.size() >= options_.max_features) break;
+    features.push_back(article);
+  }
+
+  // Optional §4 extension: redirect aliases of the strongest features, in
+  // rank order.
+  if (options_.include_redirect_aliases) {
+    size_t aliases_added = 0;
+    size_t base = features.size();
+    for (size_t i = 0; i < base && aliases_added < options_.max_alias_features;
+         ++i) {
+      for (NodeId alias : kb().RedirectsOf(features[i])) {
+        if (aliases_added >= options_.max_alias_features) break;
+        features.push_back(alias);
+        ++aliases_added;
+      }
+    }
+  }
+  return features;
+}
+
+}  // namespace wqe::expansion

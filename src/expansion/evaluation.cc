@@ -1,0 +1,43 @@
+#include "expansion/evaluation.h"
+
+#include "common/macros.h"
+#include "ir/eval.h"
+
+namespace wqe::expansion {
+
+Result<SystemEvaluation> EvaluateExpander(
+    const Expander& expander, const groundtruth::Pipeline& pipeline) {
+  SystemEvaluation eval;
+  eval.name = expander.name();
+  const std::vector<size_t>& cutoffs = ir::PaperRankCutoffs();
+  std::array<double, 4> sums{};
+  double o_sum = 0.0;
+  double feature_sum = 0.0;
+
+  for (size_t t = 0; t < pipeline.num_topics(); ++t) {
+    WQE_ASSIGN_OR_RETURN(ExpandedQuery expanded,
+                         expander.Expand(pipeline.topic(t).keywords));
+    auto results = pipeline.engine().Search(expanded.query, 15);
+    if (!results.ok()) {
+      if (results.status().IsInvalidArgument()) continue;  // nothing linked
+      return results.status();
+    }
+    for (size_t c = 0; c < cutoffs.size(); ++c) {
+      sums[c] +=
+          ir::PrecisionAtR(*results, pipeline.relevant(t), cutoffs[c]);
+    }
+    o_sum += ir::AverageTopRPrecision(*results, pipeline.relevant(t));
+    feature_sum += static_cast<double>(expanded.feature_articles.size());
+    ++eval.topics;
+  }
+  if (eval.topics > 0) {
+    for (size_t c = 0; c < cutoffs.size(); ++c) {
+      eval.mean_precision[c] = sums[c] / static_cast<double>(eval.topics);
+    }
+    eval.mean_o = o_sum / static_cast<double>(eval.topics);
+    eval.mean_features = feature_sum / static_cast<double>(eval.topics);
+  }
+  return eval;
+}
+
+}  // namespace wqe::expansion

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file evaluation.h
+/// \brief Track-level evaluation of expansion systems (E10/E11 benches).
+
+#include <array>
+#include <string>
+
+#include "expansion/expander.h"
+#include "groundtruth/pipeline.h"
+
+namespace wqe::expansion {
+
+/// \brief Aggregate retrieval quality of one system over all topics.
+struct SystemEvaluation {
+  std::string name;
+  std::array<double, 4> mean_precision{};  ///< P@1, P@5, P@10, P@15
+  double mean_o = 0.0;                     ///< Equation 1, averaged
+  double mean_features = 0.0;              ///< avg |features| per topic
+  size_t topics = 0;
+};
+
+/// \brief Runs `expander` over every topic of the pipeline's track and
+/// averages the precision metrics.
+Result<SystemEvaluation> EvaluateExpander(const Expander& expander,
+                                          const groundtruth::Pipeline& pipeline);
+
+}  // namespace wqe::expansion

@@ -1,0 +1,35 @@
+#include "expansion/expander.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace wqe::expansion {
+
+Result<ExpandedQuery> Expander::Expand(std::string_view keywords) const {
+  ExpandedQuery out;
+  out.query_articles = linker_->LinkToArticles(keywords);
+
+  if (out.query_articles.empty()) {
+    // Nothing linked: retrieval proceeds with the raw keywords.
+    out.titles.push_back(std::string(keywords));
+    out.query = ir::QueryNode::CombinePhrases(out.titles);
+    if (out.query.children.empty()) {
+      return Status::InvalidArgument("empty keywords");
+    }
+    return out;
+  }
+
+  WQE_ASSIGN_OR_RETURN(out.feature_articles,
+                       SelectFeatures(out.query_articles));
+
+  for (NodeId q : out.query_articles) {
+    out.titles.push_back(kb().display_title(q));
+  }
+  for (NodeId f : out.feature_articles) {
+    out.titles.push_back(kb().display_title(f));
+  }
+  out.query = ir::QueryNode::CombinePhrases(out.titles);
+  return out;
+}
+
+}  // namespace wqe::expansion

@@ -1,0 +1,65 @@
+#include "graph/connected_components.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace wqe::graph {
+
+std::vector<uint32_t> ComponentsResult::LargestComponent() const {
+  std::vector<uint32_t> out;
+  if (size.empty()) return out;
+  out.reserve(size[0]);
+  for (uint32_t n = 0; n < label.size(); ++n) {
+    if (label[n] == 0) out.push_back(n);
+  }
+  return out;
+}
+
+ComponentsResult ConnectedComponents(const UndirectedView& view) {
+  const uint32_t n = view.num_nodes();
+  std::vector<uint32_t> raw_label(n, UINT32_MAX);
+  std::vector<uint32_t> raw_size;
+  std::deque<uint32_t> queue;
+
+  for (uint32_t start = 0; start < n; ++start) {
+    if (raw_label[start] != UINT32_MAX) continue;
+    uint32_t comp = static_cast<uint32_t>(raw_size.size());
+    raw_size.push_back(0);
+    raw_label[start] = comp;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      uint32_t u = queue.front();
+      queue.pop_front();
+      ++raw_size[comp];
+      for (uint32_t v : view.Neighbors(u)) {
+        if (raw_label[v] == UINT32_MAX) {
+          raw_label[v] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Relabel by decreasing size (stable on first-seen order for ties).
+  std::vector<uint32_t> order(raw_size.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return raw_size[a] > raw_size[b];
+  });
+  std::vector<uint32_t> remap(raw_size.size());
+  for (uint32_t rank = 0; rank < order.size(); ++rank) {
+    remap[order[rank]] = rank;
+  }
+
+  ComponentsResult result;
+  result.label.resize(n);
+  result.size.resize(raw_size.size());
+  for (uint32_t i = 0; i < n; ++i) result.label[i] = remap[raw_label[i]];
+  for (uint32_t c = 0; c < raw_size.size(); ++c) {
+    result.size[remap[c]] = raw_size[c];
+  }
+  return result;
+}
+
+}  // namespace wqe::graph

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file connected_components.h
+/// \brief Connected components of an undirected view.
+///
+/// Table 3 of the paper characterizes the *largest connected component* of
+/// each query graph; this module computes component labels and sizes.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/undirected_view.h"
+
+namespace wqe::graph {
+
+/// \brief Result of a components computation over a view.
+struct ComponentsResult {
+  /// Component label per local node, in `[0, num_components)`. Labels are
+  /// ordered by decreasing component size (label 0 = largest; ties broken
+  /// by smallest member id).
+  std::vector<uint32_t> label;
+  /// Size of each component.
+  std::vector<uint32_t> size;
+
+  uint32_t num_components() const {
+    return static_cast<uint32_t>(size.size());
+  }
+
+  /// \brief Local node ids of the largest component (label 0); empty for an
+  /// empty view.
+  std::vector<uint32_t> LargestComponent() const;
+};
+
+/// \brief BFS-based connected components.
+ComponentsResult ConnectedComponents(const UndirectedView& view);
+
+}  // namespace wqe::graph

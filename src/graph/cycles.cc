@@ -1,0 +1,153 @@
+#include "graph/cycles.h"
+
+#include <algorithm>
+
+namespace wqe::graph {
+
+namespace {
+
+/// DFS state for one enumeration run.
+struct DfsContext {
+  const UndirectedView* view;
+  const CycleEnumerationOptions* options;
+  const CycleVisitor* visitor;
+  std::vector<bool> is_seed;       ///< by local id (empty = no filter)
+  std::vector<bool> on_path;
+  std::vector<uint32_t> path;
+  size_t emitted = 0;
+  bool aborted = false;
+
+  bool SeedFilterEnabled() const { return !is_seed.empty(); }
+
+  bool PathTouchesSeed() const {
+    if (!SeedFilterEnabled()) return true;
+    for (uint32_t v : path) {
+      if (is_seed[v]) return true;
+    }
+    return false;
+  }
+
+  /// True when no chord exists: the only adjacencies among path nodes are
+  /// the consecutive ones (and the closing edge).
+  bool PathIsChordless() const {
+    const size_t n = path.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 2; j < n; ++j) {
+        if (i == 0 && j == n - 1) continue;  // closing edge
+        if (view->HasEdge(path[i], path[j])) return false;
+      }
+    }
+    return true;
+  }
+
+  void Emit() {
+    if (!PathTouchesSeed()) return;
+    if (options->chordless_only && path.size() >= 4 && !PathIsChordless()) {
+      return;
+    }
+    ++emitted;
+    if (!(*visitor)(path)) {
+      aborted = true;
+      return;
+    }
+    if (options->max_cycles != 0 && emitted >= options->max_cycles) {
+      aborted = true;
+    }
+  }
+
+  /// Extends the path (whose last node is `u`); `start` is path[0].
+  void Extend(uint32_t start, uint32_t u) {
+    if (aborted) return;
+    const auto& neighbors = view->Neighbors(u);
+    for (uint32_t v : neighbors) {
+      if (aborted) return;
+      if (v <= start) {
+        // Close the cycle when we are back at the start with enough nodes.
+        // The orientation constraint path[1] < path.back() ensures each
+        // cycle is emitted in only one of its two traversal directions.
+        if (v == start && path.size() >= 3 && path[1] < path.back() &&
+            path.size() >= options->min_length) {
+          Emit();
+        }
+        continue;  // all other nodes <= start are excluded (canonical start)
+      }
+      if (on_path[v]) continue;
+      if (path.size() >= options->max_length) continue;
+      path.push_back(v);
+      on_path[v] = true;
+      Extend(start, v);
+      on_path[v] = false;
+      path.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+size_t CycleEnumerator::Visit(const CycleEnumerationOptions& options,
+                              const CycleVisitor& visitor) const {
+  const uint32_t n = view_->num_nodes();
+  DfsContext ctx;
+  ctx.view = view_;
+  ctx.options = &options;
+  ctx.visitor = &visitor;
+  if (!options.seeds.empty()) {
+    ctx.is_seed.assign(n, false);
+    for (NodeId g : options.seeds) {
+      uint32_t local = view_->ToLocal(g);
+      if (local != UINT32_MAX) ctx.is_seed[local] = true;
+    }
+  }
+  ctx.on_path.assign(n, false);
+
+  // Length-2 cycles: adjacent pairs with >= 2 parallel edges.
+  if (options.min_length <= 2 && options.max_length >= 2) {
+    for (uint32_t u = 0; u < n && !ctx.aborted; ++u) {
+      for (uint32_t v : view_->Neighbors(u)) {
+        if (v <= u) continue;
+        if (view_->Multiplicity(u, v) >= 2) {
+          ctx.path = {u, v};
+          ctx.Emit();
+          if (ctx.aborted) break;
+        }
+      }
+    }
+    ctx.path.clear();
+  }
+
+  // Length >= 3: canonical DFS from every start node.
+  if (options.max_length >= 3 && !ctx.aborted) {
+    for (uint32_t s = 0; s < n && !ctx.aborted; ++s) {
+      ctx.path.assign(1, s);
+      ctx.on_path[s] = true;
+      ctx.Extend(s, s);
+      ctx.on_path[s] = false;
+    }
+  }
+  return ctx.emitted;
+}
+
+std::vector<Cycle> CycleEnumerator::Enumerate(
+    const CycleEnumerationOptions& options) const {
+  std::vector<Cycle> out;
+  Visit(options, [&](const std::vector<uint32_t>& local_cycle) {
+    Cycle c;
+    c.nodes.reserve(local_cycle.size());
+    for (uint32_t local : local_cycle) {
+      c.nodes.push_back(view_->ToGlobal(local));
+    }
+    out.push_back(std::move(c));
+    return true;
+  });
+  return out;
+}
+
+std::vector<Cycle> EnumerateCycles(const PropertyGraph& graph,
+                                   const std::vector<NodeId>& nodes,
+                                   const CycleEnumerationOptions& options) {
+  UndirectedView view(graph, nodes);
+  CycleEnumerator enumerator(view);
+  return enumerator.Enumerate(options);
+}
+
+}  // namespace wqe::graph

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file cycles.h
+/// \brief Bounded-length undirected cycle enumeration (§3 of the paper).
+///
+/// A cycle is a sequence of |C| distinct nodes, starting and ending at the
+/// same node, with at least one edge between each consecutive pair,
+/// direction ignored.  Length-2 cycles require two *parallel* edges (e.g.
+/// mutual article links).  Cycles need not be chordless.  The paper bounds
+/// |C| ≤ 5 because enumeration cost grows exponentially with length — this
+/// implementation has the same asymptotics, which the perf bench (E9)
+/// demonstrates.
+///
+/// Canonicalization: every cycle is emitted exactly once, as the rotation
+/// starting at its smallest local id, oriented so the second node is
+/// smaller than the last.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/undirected_view.h"
+
+namespace wqe::graph {
+
+/// \brief One enumerated cycle; `nodes` holds global ids in cycle order
+/// (first node is the canonical minimum; no repetition of the start).
+struct Cycle {
+  std::vector<NodeId> nodes;
+
+  uint32_t length() const { return static_cast<uint32_t>(nodes.size()); }
+};
+
+/// \brief Enumeration parameters.
+struct CycleEnumerationOptions {
+  uint32_t min_length = 2;
+  uint32_t max_length = 5;
+  /// When non-empty, only cycles containing at least one seed are emitted
+  /// (the paper keeps cycles touching an article of `L(q.k)`).
+  std::vector<NodeId> seeds;
+  /// Safety valve: stop after this many cycles (0 = unlimited).
+  size_t max_cycles = 0;
+  /// Restrict to chordless (induced) cycles: no edge between any pair of
+  /// non-consecutive cycle nodes.  The paper deliberately does *not*
+  /// enforce this ("we do not enforce the cycles to be cordless"); the
+  /// option exists to quantify that choice (every chordless cycle has
+  /// extra-edge density 0, so the dense cycles the paper favors are
+  /// exactly the chorded ones).  Length-2 cycles are trivially chordless.
+  bool chordless_only = false;
+};
+
+/// \brief Callback invoked per cycle with *local* view ids; return false to
+/// abort enumeration early.
+using CycleVisitor = std::function<bool(const std::vector<uint32_t>&)>;
+
+/// \brief DFS cycle enumerator over an undirected view.
+class CycleEnumerator {
+ public:
+  explicit CycleEnumerator(const UndirectedView& view) : view_(&view) {}
+
+  /// \brief Materializes all cycles matching `options`.
+  std::vector<Cycle> Enumerate(const CycleEnumerationOptions& options) const;
+
+  /// \brief Streaming enumeration; avoids materializing cycles.
+  /// Returns the number of cycles visited.
+  size_t Visit(const CycleEnumerationOptions& options,
+               const CycleVisitor& visitor) const;
+
+ private:
+  const UndirectedView* view_;
+};
+
+/// \brief Convenience: enumerates cycles of the subgraph induced by
+/// `nodes`, keeping only those containing a seed, with global-id output.
+std::vector<Cycle> EnumerateCycles(const PropertyGraph& graph,
+                                   const std::vector<NodeId>& nodes,
+                                   const CycleEnumerationOptions& options);
+
+}  // namespace wqe::graph

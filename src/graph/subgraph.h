@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file subgraph.h
+/// \brief Induced-subgraph extraction (query graph assembly, §2.3).
+///
+/// A query graph G(q) is the subgraph of Wikipedia induced by X(q), the
+/// main articles of redirects, and their categories.  The extraction keeps
+/// a mapping back to the parent graph so analysis results can be reported
+/// in terms of the original ids/labels.
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wqe::graph {
+
+/// \brief An induced subgraph plus the node-id mapping to its parent.
+struct InducedSubgraph {
+  PropertyGraph graph;
+  /// Local node id → parent node id.
+  std::vector<NodeId> to_parent;
+  /// Parent node id → local node id.
+  std::unordered_map<NodeId, NodeId> to_local;
+
+  /// \brief Maps a parent id, or kInvalidNode when not included.
+  NodeId Local(NodeId parent_id) const {
+    auto it = to_local.find(parent_id);
+    return it == to_local.end() ? kInvalidNode : it->second;
+  }
+};
+
+/// \brief Builds the subgraph of `graph` induced by `nodes` (duplicates
+/// ignored; order of first occurrence preserved). All edges of all kinds
+/// between included nodes are copied.
+InducedSubgraph Induce(const PropertyGraph& graph,
+                       const std::vector<NodeId>& nodes);
+
+}  // namespace wqe::graph

@@ -1,0 +1,49 @@
+#include "graph/triangles.h"
+
+#include <algorithm>
+
+namespace wqe::graph {
+
+TriangleStats CountTriangles(const UndirectedView& view) {
+  const uint32_t n = view.num_nodes();
+  TriangleStats stats;
+  stats.per_node.assign(n, 0);
+
+  // For each node u, consider ordered neighbor pairs (v, w) with
+  // u < v < w; the triangle u-v-w is counted exactly once.
+  for (uint32_t u = 0; u < n; ++u) {
+    const auto& nu = view.Neighbors(u);
+    // neighbors > u
+    auto from = std::upper_bound(nu.begin(), nu.end(), u);
+    for (auto itv = from; itv != nu.end(); ++itv) {
+      for (auto itw = itv + 1; itw != nu.end(); ++itw) {
+        if (view.HasEdge(*itv, *itw)) {
+          ++stats.triangle_count;
+          ++stats.per_node[u];
+          ++stats.per_node[*itv];
+          ++stats.per_node[*itw];
+        }
+      }
+    }
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    if (stats.per_node[u] > 0) ++stats.nodes_in_triangles;
+  }
+  stats.tpr = n == 0 ? 0.0
+                     : static_cast<double>(stats.nodes_in_triangles) /
+                           static_cast<double>(n);
+  return stats;
+}
+
+double TriangleParticipationRatio(const UndirectedView& view,
+                                  const std::vector<uint32_t>& nodes) {
+  if (nodes.empty()) return 0.0;
+  TriangleStats stats = CountTriangles(view);
+  size_t in_triangle = 0;
+  for (uint32_t u : nodes) {
+    if (stats.per_node[u] > 0) ++in_triangle;
+  }
+  return static_cast<double>(in_triangle) / static_cast<double>(nodes.size());
+}
+
+}  // namespace wqe::graph

@@ -1,0 +1,80 @@
+#include "graph/undirected_view.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wqe::graph {
+
+UndirectedView::UndirectedView(const PropertyGraph& graph,
+                               UndirectedViewOptions options)
+    : graph_(&graph), options_(options) {
+  std::vector<NodeId> all(graph.num_nodes());
+  std::iota(all.begin(), all.end(), 0);
+  Build(all);
+}
+
+UndirectedView::UndirectedView(const PropertyGraph& graph,
+                               const std::vector<NodeId>& nodes,
+                               UndirectedViewOptions options)
+    : graph_(&graph), options_(options) {
+  Build(nodes);
+}
+
+uint64_t UndirectedView::PairKey(uint32_t u, uint32_t v) {
+  uint32_t lo = std::min(u, v);
+  uint32_t hi = std::max(u, v);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+void UndirectedView::Build(const std::vector<NodeId>& nodes) {
+  global_.reserve(nodes.size());
+  for (NodeId n : nodes) {
+    if (local_.emplace(n, static_cast<uint32_t>(global_.size())).second) {
+      global_.push_back(n);
+    }
+  }
+  adj_.assign(global_.size(), {});
+
+  // Scan out-edges of every member node; an edge contributes when both
+  // endpoints are in the view.
+  for (uint32_t lu = 0; lu < global_.size(); ++lu) {
+    NodeId gu = global_[lu];
+    for (const Edge& e : graph_->OutEdges(gu)) {
+      if (e.kind == EdgeKind::kRedirect && !options_.include_redirects) {
+        continue;
+      }
+      auto it = local_.find(e.dst);
+      if (it == local_.end()) continue;
+      uint32_t lv = it->second;
+      if (lv == lu) continue;
+      ++multiplicity_[PairKey(lu, lv)];
+    }
+  }
+  for (const auto& [key, count] : multiplicity_) {
+    uint32_t lo = static_cast<uint32_t>(key >> 32);
+    uint32_t hi = static_cast<uint32_t>(key & 0xFFFFFFFFu);
+    adj_[lo].push_back(hi);
+    adj_[hi].push_back(lo);
+    ++num_pairs_;
+  }
+  for (auto& neigh : adj_) {
+    std::sort(neigh.begin(), neigh.end());
+  }
+}
+
+uint32_t UndirectedView::ToLocal(NodeId global) const {
+  auto it = local_.find(global);
+  return it == local_.end() ? UINT32_MAX : it->second;
+}
+
+bool UndirectedView::HasEdge(uint32_t u, uint32_t v) const {
+  const auto& neigh = adj_[u];
+  return std::binary_search(neigh.begin(), neigh.end(), v);
+}
+
+uint32_t UndirectedView::Multiplicity(uint32_t u, uint32_t v) const {
+  auto it = multiplicity_.find(PairKey(u, v));
+  return it == multiplicity_.end() ? 0 : it->second;
+}
+
+}  // namespace wqe::graph

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file undirected_view.h
+/// \brief Undirected multigraph view used by all structural algorithms.
+///
+/// The paper analyzes cycles "without taking the edges direction into
+/// account": a cycle needs *at least one edge among each pair of
+/// consecutive nodes*, and a length-2 cycle needs two parallel edges
+/// (e.g. mutual links).  This view materializes, for the whole graph or an
+/// induced node subset, sorted unique undirected neighbor lists plus the
+/// parallel-edge multiplicity of every adjacent pair.
+///
+/// Redirect edges are excluded by default: per the paper's §4 remark,
+/// redirect articles "can never close a cycle (see Figure 1)".
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wqe::graph {
+
+/// \brief View construction options.
+struct UndirectedViewOptions {
+  /// Include redirect edges in the view (off for cycle analysis).
+  bool include_redirects = false;
+};
+
+/// \brief Compact undirected view with local ids `[0, num_nodes())`.
+class UndirectedView {
+ public:
+  /// \brief View over the whole graph.
+  explicit UndirectedView(const PropertyGraph& graph,
+                          UndirectedViewOptions options = {});
+
+  /// \brief View over the subgraph induced by `nodes` (global ids,
+  /// duplicates ignored).
+  UndirectedView(const PropertyGraph& graph, const std::vector<NodeId>& nodes,
+                 UndirectedViewOptions options = {});
+
+  /// \brief Number of nodes in the view.
+  uint32_t num_nodes() const { return static_cast<uint32_t>(global_.size()); }
+
+  /// \brief Number of undirected adjacent pairs (multiplicity collapsed).
+  size_t num_undirected_edges() const { return num_pairs_; }
+
+  /// \brief Maps a local id back to the underlying graph's node id.
+  NodeId ToGlobal(uint32_t local) const { return global_[local]; }
+
+  /// \brief Maps a global node id to a local id, or UINT32_MAX if the node
+  /// is not part of this view.
+  uint32_t ToLocal(NodeId global) const;
+
+  /// \brief Sorted unique undirected neighbors of `local`.
+  const std::vector<uint32_t>& Neighbors(uint32_t local) const {
+    return adj_[local];
+  }
+
+  /// \brief Undirected degree (distinct neighbors).
+  uint32_t Degree(uint32_t local) const {
+    return static_cast<uint32_t>(adj_[local].size());
+  }
+
+  /// \brief True when u and v are adjacent (any direction, any kind).
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+  /// \brief Number of parallel edges between u and v counting both
+  /// directions and all included kinds; 0 when not adjacent.
+  uint32_t Multiplicity(uint32_t u, uint32_t v) const;
+
+  /// \brief Node kind of a local node.
+  NodeKind kind(uint32_t local) const { return graph_->kind(global_[local]); }
+
+  const PropertyGraph& parent() const { return *graph_; }
+
+ private:
+  void Build(const std::vector<NodeId>& nodes);
+  static uint64_t PairKey(uint32_t u, uint32_t v);
+
+  const PropertyGraph* graph_;
+  UndirectedViewOptions options_;
+  std::vector<NodeId> global_;
+  std::unordered_map<NodeId, uint32_t> local_;
+  std::vector<std::vector<uint32_t>> adj_;
+  std::unordered_map<uint64_t, uint32_t> multiplicity_;
+  size_t num_pairs_ = 0;
+};
+
+}  // namespace wqe::graph

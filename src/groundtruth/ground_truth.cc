@@ -1,0 +1,119 @@
+#include "groundtruth/ground_truth.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace wqe::groundtruth {
+
+std::vector<NodeId> GroundTruthBuilder::LinkRelevantDocuments(
+    size_t topic_index) const {
+  std::vector<NodeId> out;
+  std::unordered_set<NodeId> seen;
+  for (ir::DocId doc : pipeline_->relevant(topic_index)) {
+    for (NodeId a : pipeline_->linker().LinkToArticles(
+             pipeline_->doc_text(doc))) {
+      if (seen.insert(a).second) out.push_back(a);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<GroundTruthEntry> GroundTruthBuilder::BuildEntry(
+    size_t topic_index) const {
+  if (topic_index >= pipeline_->num_topics()) {
+    return Status::OutOfRange("topic index ", topic_index, " out of range");
+  }
+  const clef::Topic& topic = pipeline_->topic(topic_index);
+  GroundTruthEntry entry;
+  entry.topic_index = topic_index;
+  entry.topic_id = topic.id;
+  entry.keywords = topic.keywords;
+
+  // §2.1 — entity linking.
+  entry.query_articles =
+      pipeline_->linker().LinkToArticles(topic.keywords);
+  entry.doc_articles = LinkRelevantDocuments(topic_index);
+
+  // Candidates A' ⊆ L(q.D) \ L(q.k).
+  std::unordered_set<NodeId> query_set(entry.query_articles.begin(),
+                                       entry.query_articles.end());
+  std::vector<NodeId> candidates;
+  for (NodeId a : entry.doc_articles) {
+    if (!query_set.count(a)) candidates.push_back(a);
+  }
+
+  // §2.2 — hill climb for X(q).
+  XqOptimizer optimizer(&pipeline_->engine(), &pipeline_->kb(), xq_options_);
+  WQE_ASSIGN_OR_RETURN(
+      entry.xq, optimizer.Optimize(entry.query_articles, candidates,
+                                   pipeline_->relevant(topic_index)));
+
+  // Final per-cutoff precisions (Table 2 rows).
+  {
+    std::vector<std::string> titles;
+    for (NodeId a : entry.query_articles) {
+      titles.push_back(pipeline_->kb().display_title(a));
+    }
+    for (NodeId a : entry.xq.selected) {
+      titles.push_back(pipeline_->kb().display_title(a));
+    }
+    if (!titles.empty()) {
+      WQE_ASSIGN_OR_RETURN(std::vector<ir::ScoredDoc> results,
+                           pipeline_->engine().SearchTitles(titles, 15));
+      for (size_t r : ir::PaperRankCutoffs()) {
+        entry.precision_at.push_back(ir::PrecisionAtR(
+            results, pipeline_->relevant(topic_index), r));
+      }
+    } else {
+      entry.precision_at.assign(ir::PaperRankCutoffs().size(), 0.0);
+    }
+  }
+
+  // §2.3 — query graph.
+  entry.graph = BuildQueryGraph(pipeline_->kb(), entry.query_articles,
+                                entry.xq.selected);
+  return entry;
+}
+
+Result<GroundTruth> GroundTruthBuilder::Build() const {
+  GroundTruth gt;
+  gt.entries.reserve(pipeline_->num_topics());
+  for (size_t t = 0; t < pipeline_->num_topics(); ++t) {
+    WQE_ASSIGN_OR_RETURN(GroundTruthEntry entry, BuildEntry(t));
+    WQE_LOG(Debug) << "topic " << entry.topic_id << " '" << entry.keywords
+                   << "': |L(q.k)|=" << entry.query_articles.size()
+                   << " |L(q.D)|=" << entry.doc_articles.size()
+                   << " |A'|=" << entry.xq.selected.size()
+                   << " O=" << entry.xq.quality
+                   << " (baseline " << entry.xq.baseline_quality << ")";
+    gt.entries.push_back(std::move(entry));
+  }
+  return gt;
+}
+
+std::string WriteGroundTruth(const GroundTruth& gt,
+                             const wiki::KnowledgeBase& kb) {
+  std::string out;
+  for (const GroundTruthEntry& e : gt.entries) {
+    std::vector<std::string> titles;
+    for (NodeId a : e.xq.selected) titles.push_back(kb.display_title(a));
+    out += std::to_string(e.topic_id);
+    out += "\t";
+    out += e.keywords;
+    out += "\t";
+    out += Join(titles, ";");
+    out += "\t";
+    out += FormatDouble(e.xq.quality, 4);
+    out += "\t";
+    out += FormatDouble(e.xq.baseline_quality, 4);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wqe::groundtruth

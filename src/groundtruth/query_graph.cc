@@ -1,0 +1,48 @@
+#include "groundtruth/query_graph.h"
+
+#include <unordered_set>
+
+namespace wqe::groundtruth {
+
+std::vector<NodeId> QueryGraph::LocalQueryArticles() const {
+  std::vector<NodeId> out;
+  for (NodeId q : query_articles) {
+    NodeId local = sub.Local(q);
+    if (local != graph::kInvalidNode) out.push_back(local);
+  }
+  return out;
+}
+
+QueryGraph BuildQueryGraph(const wiki::KnowledgeBase& kb,
+                           const std::vector<NodeId>& query_articles,
+                           const std::vector<NodeId>& expansion_articles) {
+  QueryGraph qg;
+  std::vector<NodeId> nodes;
+  std::unordered_set<NodeId> seen;
+
+  auto add_node = [&](NodeId n) {
+    if (seen.insert(n).second) nodes.push_back(n);
+  };
+  auto add_article_with_context = [&](NodeId article) {
+    add_node(article);
+    // Main article of a redirect (the paper includes both).
+    NodeId main = kb.ResolveRedirect(article);
+    if (main != article) add_node(main);
+    // Categories (redirects have none).
+    for (NodeId cat : kb.CategoriesOf(main)) add_node(cat);
+  };
+
+  for (NodeId q : query_articles) {
+    add_article_with_context(q);
+    qg.query_articles.push_back(q);
+  }
+  for (NodeId a : expansion_articles) {
+    add_article_with_context(a);
+    qg.expansion_articles.push_back(a);
+  }
+
+  qg.sub = graph::Induce(kb.graph(), nodes);
+  return qg;
+}
+
+}  // namespace wqe::groundtruth

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file query_graph.h
+/// \brief Query-graph assembly (paper §2.3).
+///
+/// G(q) is the Wikipedia subgraph induced by X(q) = L(q.k) ∪ A′, the main
+/// articles of any redirects among them, and all their categories.  The
+/// struct keeps the provenance of each node (query article vs expansion
+/// article vs category) so the analysis can compute Table 3's ratios.
+
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "wiki/knowledge_base.h"
+
+namespace wqe::groundtruth {
+
+using graph::NodeId;
+
+/// \brief One assembled query graph.
+struct QueryGraph {
+  /// Induced subgraph (local node ids) + mapping to KB node ids.
+  graph::InducedSubgraph sub;
+  /// KB ids of the query articles L(q.k) included in the graph.
+  std::vector<NodeId> query_articles;
+  /// KB ids of the expansion articles A'.
+  std::vector<NodeId> expansion_articles;
+
+  /// \brief Local ids of the query articles (seeds for cycle search).
+  std::vector<NodeId> LocalQueryArticles() const;
+
+  size_t num_nodes() const { return sub.graph.num_nodes(); }
+};
+
+/// \brief Builds G(q) from the knowledge base.
+///
+/// Redirects among the inputs are resolved to their main articles (both
+/// are included, mirroring the paper's construction); categories of every
+/// included article are added; the subgraph is induced over the union.
+QueryGraph BuildQueryGraph(const wiki::KnowledgeBase& kb,
+                           const std::vector<NodeId>& query_articles,
+                           const std::vector<NodeId>& expansion_articles);
+
+}  // namespace wqe::groundtruth

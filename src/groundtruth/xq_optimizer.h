@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file xq_optimizer.h
+/// \brief The paper's §2.2 search for X(q), the best expansion set.
+///
+/// X(q) = argmax over A' ⊆ L(q.D) of O(L(q.k) ∪ A', q.D), where O is the
+/// mean of top-{1,5,10,15} precision (Equation 1).  Exhaustive search is
+/// infeasible (2^|L(q.D)| subsets), so the paper hill-climbs: start from a
+/// random article of L(q.D) and repeatedly apply the best of
+/// ADD / REMOVE / SWAP while it improves O — with the twist that a REMOVE
+/// that *keeps O equal* is also taken, so the final set is minimal.
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ir/eval.h"
+#include "ir/search_engine.h"
+#include "wiki/knowledge_base.h"
+
+namespace wqe::groundtruth {
+
+using graph::NodeId;
+
+/// \brief Optimizer parameters.
+struct XqOptimizerOptions {
+  uint64_t seed = 13;
+  /// Hard cap on hill-climb iterations (each applies one operation).
+  uint32_t max_iterations = 60;
+  /// Retrieval depth; must cover the largest rank cutoff.
+  size_t top_k = 15;
+  /// Enable the SWAP move (ADD and REMOVE are always on). SWAP costs
+  /// |A'|·|candidates| evaluations per iteration.
+  bool enable_swap = true;
+  /// Independent random restarts; the best run wins.
+  uint32_t restarts = 2;
+};
+
+/// \brief Optimization outcome for one query.
+struct XqResult {
+  std::vector<NodeId> selected;    ///< A' ⊆ L(q.D)
+  double quality = 0.0;            ///< O(L(q.k) ∪ A', D)
+  double baseline_quality = 0.0;   ///< O(L(q.k), D), unexpanded
+  uint32_t iterations = 0;         ///< operations applied (all restarts)
+  uint64_t evaluations = 0;        ///< O() computations (incl. cache hits)
+};
+
+/// \brief Hill-climbing optimizer over expansion-feature sets.
+class XqOptimizer {
+ public:
+  XqOptimizer(const ir::SearchEngine* engine, const wiki::KnowledgeBase* kb,
+              XqOptimizerOptions options = {})
+      : engine_(engine), kb_(kb), options_(options) {}
+
+  /// \brief Runs the search.
+  /// \param query_articles L(q.k): articles linked from the query keywords.
+  /// \param candidates L(q.D): articles linked from the relevant documents.
+  /// \param relevant the judged set D.
+  Result<XqResult> Optimize(const std::vector<NodeId>& query_articles,
+                            const std::vector<NodeId>& candidates,
+                            const ir::RelevantSet& relevant) const;
+
+  /// \brief O(A, D) for an arbitrary article set (titles are used to build
+  /// the exact-phrase query). Exposed for analysis code (Table 4, Fig 5).
+  Result<double> EvaluateArticles(const std::vector<NodeId>& articles,
+                                  const ir::RelevantSet& relevant) const;
+
+ private:
+  const ir::SearchEngine* engine_;
+  const wiki::KnowledgeBase* kb_;
+  XqOptimizerOptions options_;
+};
+
+}  // namespace wqe::groundtruth

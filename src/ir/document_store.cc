@@ -1,0 +1,30 @@
+#include "ir/document_store.h"
+
+namespace wqe::ir {
+
+Result<DocId> DocumentStore::Add(std::string_view name,
+                                 std::string_view text) {
+  if (name.empty()) {
+    return Status::InvalidArgument("document name must not be empty");
+  }
+  std::string key(name);
+  if (by_name_.count(key)) {
+    return Status::AlreadyExists("document '", key, "' already stored");
+  }
+  DocId id = static_cast<DocId>(docs_.size());
+  Document doc;
+  doc.id = id;
+  doc.name = key;
+  doc.text = std::string(text);
+  docs_.push_back(std::move(doc));
+  by_name_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<DocId> DocumentStore::FindByName(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace wqe::ir

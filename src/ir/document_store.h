@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file document_store.h
+/// \brief In-memory document collection.
+///
+/// Documents are the retrieval units of the benchmark: in the ImageCLEF
+/// track each document is the extracted text of one image-metadata XML file
+/// (paper §2.1 / Figure 2).  `name` carries the external identifier (file
+/// name / image id) used by the relevance judgments.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace wqe::ir {
+
+/// \brief Dense document identifier.
+using DocId = uint32_t;
+
+inline constexpr DocId kInvalidDoc = UINT32_MAX;
+
+/// \brief One stored document.
+struct Document {
+  DocId id = kInvalidDoc;
+  std::string name;  ///< external id, unique
+  std::string text;  ///< raw text (pre-analysis)
+};
+
+/// \brief Append-only store with name lookup.
+class DocumentStore {
+ public:
+  /// \brief Adds a document; fails when `name` is already used.
+  Result<DocId> Add(std::string_view name, std::string_view text);
+
+  /// \brief Lookup by id; must be valid.
+  const Document& Get(DocId id) const { return docs_[id]; }
+
+  /// \brief Lookup by external name.
+  std::optional<DocId> FindByName(std::string_view name) const;
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  /// \brief Iteration support.
+  const std::vector<Document>& documents() const { return docs_; }
+
+ private:
+  std::vector<Document> docs_;
+  std::unordered_map<std::string, DocId> by_name_;
+};
+
+}  // namespace wqe::ir

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file inverted_index.h
+/// \brief Positional inverted index.
+///
+/// Terms map to postings lists of (document, sorted positions).  Positions
+/// are the pre-stopword token positions produced by `text::Analyzer`, so
+/// exact-phrase evaluation (`#1(...)`, the operator the paper's ground
+/// truth relies on) respects original word adjacency.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/document_store.h"
+#include "text/analyzer.h"
+
+namespace wqe::ir {
+
+/// \brief Postings of one term in one document.
+struct Posting {
+  DocId doc = kInvalidDoc;
+  std::vector<uint32_t> positions;  ///< ascending
+
+  uint32_t tf() const { return static_cast<uint32_t>(positions.size()); }
+};
+
+/// \brief Postings list plus collection statistics of a term.
+struct PostingsList {
+  std::vector<Posting> postings;  ///< ascending DocId
+  uint64_t collection_tf = 0;     ///< total occurrences across collection
+
+  uint32_t df() const { return static_cast<uint32_t>(postings.size()); }
+};
+
+/// \brief The index. Build by `Add`ing analyzed documents in id order.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(const text::Analyzer* analyzer)
+      : analyzer_(analyzer) {}
+
+  /// \brief Analyzes and indexes one document.  Documents must be added in
+  /// strictly increasing id order (enforced).
+  Status Add(DocId doc, std::string_view doc_text);
+
+  /// \brief Indexes an entire store.
+  Status AddAll(const DocumentStore& store);
+
+  /// \brief Postings of an *analyzed* term; nullptr when absent.
+  const PostingsList* Find(std::string_view analyzed_term) const;
+
+  /// \brief Number of indexed documents.
+  size_t num_docs() const { return doc_lengths_.size(); }
+
+  /// \brief Vocabulary size.
+  size_t num_terms() const { return postings_.size(); }
+
+  /// \brief Length (analyzed token count) of one document.
+  uint32_t doc_length(DocId doc) const { return doc_lengths_[doc]; }
+
+  /// \brief Total analyzed tokens in the collection.
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  /// \brief The analyzer used to build this index (queries must use it).
+  const text::Analyzer& analyzer() const { return *analyzer_; }
+
+  /// \brief Counts exact-phrase occurrences of the analyzed term sequence
+  /// in one document (consecutive source positions).
+  uint32_t PhraseTf(const std::vector<std::string>& terms, DocId doc) const;
+
+  /// \brief Documents containing the exact phrase, with occurrence counts;
+  /// ascending DocId. A single-term phrase degenerates to its postings.
+  std::vector<Posting> PhrasePostings(
+      const std::vector<std::string>& terms) const;
+
+ private:
+  const text::Analyzer* analyzer_;
+  std::unordered_map<std::string, PostingsList> postings_;
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_tokens_ = 0;
+};
+
+}  // namespace wqe::ir

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file query.h
+/// \brief INDRI-subset structured query language.
+///
+/// The paper evaluates expansion-feature sets by writing INDRI queries
+/// "based on exact phrase matching" from article titles (§2.2).  The subset
+/// implemented here is what that needs:
+///
+///   query    := node
+///   node     := term | '#1(' term+ ')' | '#combine(' node+ ')'
+///
+/// `#1(...)` is INDRI's ordered-window-1 operator (exact phrase);
+/// `#combine(...)` averages the log-beliefs of its children.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace wqe::ir {
+
+/// \brief Query AST node.
+struct QueryNode {
+  enum class Kind {
+    kTerm,     ///< single term
+    kPhrase,   ///< #1(...) exact phrase
+    kCombine,  ///< #combine(...)
+  };
+
+  Kind kind = Kind::kTerm;
+  std::string term;                      ///< kTerm: raw (unanalyzed) term
+  std::vector<std::string> phrase;       ///< kPhrase: raw terms in order
+  std::vector<QueryNode> children;       ///< kCombine
+
+  /// \brief Renders the node back to INDRI syntax.
+  std::string ToString() const;
+
+  /// \name Factories
+  /// @{
+  static QueryNode Term(std::string_view term);
+  static QueryNode Phrase(std::vector<std::string> terms);
+  static QueryNode Combine(std::vector<QueryNode> children);
+
+  /// \brief Phrase node from free text (tokenized on whitespace); a single
+  /// word becomes a plain term.  This is how article titles are turned into
+  /// exact-phrase subqueries.
+  static QueryNode PhraseFromText(std::string_view text);
+
+  /// \brief `#combine` over `PhraseFromText` of every string: the paper's
+  /// query construction for a set of titles (keywords + expansion
+  /// features).  Empty inputs are skipped.
+  static QueryNode CombinePhrases(const std::vector<std::string>& texts);
+  /// @}
+};
+
+/// \brief Parses INDRI-subset syntax into an AST.
+Result<QueryNode> ParseQuery(std::string_view input);
+
+}  // namespace wqe::ir

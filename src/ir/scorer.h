@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file scorer.h
+/// \brief Query-likelihood scoring with Dirichlet smoothing.
+///
+/// INDRI's retrieval model: a document's belief for a term is
+///
+///   P(t|d) = (tf(t,d) + μ·P(t|C)) / (|d| + μ)
+///
+/// and `#combine` averages the children's log-beliefs.  Exact phrases
+/// (`#1`) are scored the same way with phrase occurrence counts and a
+/// collection phrase frequency computed on the fly (cached per query).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ir/inverted_index.h"
+#include "ir/query.h"
+
+namespace wqe::ir {
+
+/// \brief One ranked result.
+struct ScoredDoc {
+  DocId doc = kInvalidDoc;
+  double score = 0.0;
+
+  bool operator==(const ScoredDoc& other) const = default;
+};
+
+/// \brief Scoring parameters.
+struct ScorerOptions {
+  /// Dirichlet μ. The classic default is 2500; the ImageCLEF-style
+  /// metadata documents are short (tens of tokens), so the engine default
+  /// is smaller.
+  double mu = 300.0;
+};
+
+/// \brief Evaluates query ASTs against an index.
+class QueryEvaluator {
+ public:
+  QueryEvaluator(const InvertedIndex* index, ScorerOptions options = {})
+      : index_(index), options_(options) {}
+
+  /// \brief Scores and ranks the top `k` documents for `query`.
+  ///
+  /// Only documents matching at least one leaf are ranked (unmatched
+  /// documents would all tie on pure background probability). Ties are
+  /// broken by ascending DocId for determinism.
+  Result<std::vector<ScoredDoc>> Evaluate(const QueryNode& query,
+                                          size_t k) const;
+
+ private:
+  /// Analyzed leaf: either one term or a phrase, plus its per-document
+  /// match counts and collection statistics.
+  struct Leaf {
+    std::vector<std::string> terms;             ///< analyzed
+    std::unordered_map<DocId, uint32_t> tf;     ///< per-doc occurrences
+    double collection_prob = 0.0;               ///< P(leaf|C), smoothed
+  };
+
+  Status CollectLeaves(const QueryNode& node, std::vector<Leaf>* leaves) const;
+  double LeafLogBelief(const Leaf& leaf, DocId doc) const;
+
+  const InvertedIndex* index_;
+  ScorerOptions options_;
+};
+
+}  // namespace wqe::ir

@@ -1,0 +1,54 @@
+#include "ir/search_engine.h"
+
+#include "common/macros.h"
+
+namespace wqe::ir {
+
+SearchEngine::SearchEngine(SearchEngineOptions options)
+    : options_(options), analyzer_(options.analyzer) {}
+
+Result<DocId> SearchEngine::AddDocument(std::string_view name,
+                                        std::string_view text) {
+  if (finalized_) {
+    return Status::InvalidArgument(
+        "cannot add documents after Finalize()");
+  }
+  return store_.Add(name, text);
+}
+
+Status SearchEngine::Finalize() {
+  if (finalized_) return Status::InvalidArgument("already finalized");
+  if (store_.empty()) {
+    return Status::InvalidArgument("no documents to index");
+  }
+  index_ = std::make_unique<InvertedIndex>(&analyzer_);
+  WQE_RETURN_NOT_OK(index_->AddAll(store_));
+  evaluator_ = std::make_unique<QueryEvaluator>(index_.get(), options_.scorer);
+  finalized_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<ScoredDoc>> SearchEngine::Search(const QueryNode& query,
+                                                    size_t k) const {
+  if (!finalized_) {
+    return Status::InvalidArgument("engine not finalized");
+  }
+  return evaluator_->Evaluate(query, k);
+}
+
+Result<std::vector<ScoredDoc>> SearchEngine::SearchText(
+    std::string_view query, size_t k) const {
+  WQE_ASSIGN_OR_RETURN(QueryNode node, ParseQuery(query));
+  return Search(node, k);
+}
+
+Result<std::vector<ScoredDoc>> SearchEngine::SearchTitles(
+    const std::vector<std::string>& titles, size_t k) const {
+  QueryNode node = QueryNode::CombinePhrases(titles);
+  if (node.children.empty()) {
+    return Status::InvalidArgument("no non-empty titles to search");
+  }
+  return Search(node, k);
+}
+
+}  // namespace wqe::ir

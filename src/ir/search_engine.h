@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file search_engine.h
+/// \brief The INDRI-substitute retrieval facade.
+///
+/// Owns the analyzer, document store, positional index and evaluator, and
+/// exposes the two operations the paper's pipeline needs: index a
+/// collection, then rank documents for a structured (or free-text) query.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ir/document_store.h"
+#include "ir/inverted_index.h"
+#include "ir/query.h"
+#include "ir/scorer.h"
+#include "text/analyzer.h"
+
+namespace wqe::ir {
+
+/// \brief Engine configuration.
+struct SearchEngineOptions {
+  text::AnalyzerOptions analyzer;
+  ScorerOptions scorer;
+};
+
+/// \brief Index + search facade.
+class SearchEngine {
+ public:
+  explicit SearchEngine(SearchEngineOptions options = {});
+
+  /// \brief Adds a document (before `Finalize`).
+  Result<DocId> AddDocument(std::string_view name, std::string_view text);
+
+  /// \brief Builds the index; call once after all documents are added.
+  Status Finalize();
+
+  /// \brief Ranks the top `k` documents for a query AST.
+  Result<std::vector<ScoredDoc>> Search(const QueryNode& query,
+                                        size_t k) const;
+
+  /// \brief Parses INDRI-subset text and ranks.
+  Result<std::vector<ScoredDoc>> SearchText(std::string_view query,
+                                            size_t k) const;
+
+  /// \brief The paper's §2.2 query construction: `#combine` of exact-phrase
+  /// subqueries, one per title in `titles`.
+  Result<std::vector<ScoredDoc>> SearchTitles(
+      const std::vector<std::string>& titles, size_t k) const;
+
+  const DocumentStore& store() const { return store_; }
+  const InvertedIndex& index() const { return *index_; }
+  const text::Analyzer& analyzer() const { return analyzer_; }
+  bool finalized() const { return finalized_; }
+
+ private:
+  SearchEngineOptions options_;
+  text::Analyzer analyzer_;
+  DocumentStore store_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::unique_ptr<QueryEvaluator> evaluator_;
+  bool finalized_ = false;
+};
+
+}  // namespace wqe::ir

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file entity_linker.h
+/// \brief Entity linking against Wikipedia titles (paper §2.1).
+///
+/// Implements the paper's L(·) function: "identifying the set of the
+/// largest substrings in the input that match the title of an article in
+/// Wikipedia".  Matching is greedy left-to-right, longest-window-first.
+/// Titles of redirect articles match too and resolve to their main
+/// article.  Additionally, synonym phrases are searched: a window that
+/// fails to match directly is retried with single terms replaced by their
+/// synonyms, where the synonyms of a term t are the titles of the
+/// redirects of the article titled t (and, symmetrically, the main title
+/// when t is itself a redirect title).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "wiki/knowledge_base.h"
+
+namespace wqe::linking {
+
+using graph::NodeId;
+
+/// \brief One linked mention.
+struct EntityMention {
+  NodeId article = graph::kInvalidNode;  ///< resolved main article
+  size_t begin = 0;                      ///< byte span in the input text
+  size_t end = 0;
+  std::string surface;                   ///< matched surface form
+  bool via_redirect = false;             ///< matched a redirect title
+  bool via_synonym = false;              ///< matched a synonym phrase
+};
+
+/// \brief Linker options.
+struct EntityLinkerOptions {
+  /// Longest title window, in tokens.
+  uint32_t max_window = 5;
+  /// Enable the synonym-phrase search.
+  bool use_synonyms = true;
+  /// Skip single-token mentions that are stopwords.
+  bool skip_stopword_singletons = true;
+};
+
+/// \brief Greedy largest-substring entity linker.
+class EntityLinker {
+ public:
+  EntityLinker(const wiki::KnowledgeBase* kb, EntityLinkerOptions options = {})
+      : kb_(kb), options_(options) {}
+
+  /// \brief All mentions in reading order (non-overlapping).
+  std::vector<EntityMention> Link(std::string_view text) const;
+
+  /// \brief The paper's L(text): deduplicated resolved main articles.
+  std::vector<NodeId> LinkToArticles(std::string_view text) const;
+
+ private:
+  /// Tries to match tokens[i, i+len) directly; returns the matched node or
+  /// kInvalidNode.
+  NodeId MatchWindow(const std::vector<text::Token>& tokens, size_t i,
+                     size_t len) const;
+
+  /// Tries synonym-substituted variants of the window.
+  NodeId MatchWindowViaSynonyms(const std::vector<text::Token>& tokens,
+                                size_t i, size_t len,
+                                std::string* surface) const;
+
+  /// Collects synonym strings of a single term.
+  std::vector<std::string> SynonymsOf(const std::string& term) const;
+
+  const wiki::KnowledgeBase* kb_;
+  EntityLinkerOptions options_;
+};
+
+}  // namespace wqe::linking

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file analyzer.h
+/// \brief The full text-analysis pipeline: tokenize → stop → stem.
+///
+/// Documents at index time and queries at search time must pass through the
+/// *same* analyzer instance configuration, otherwise term vocabularies
+/// diverge; `ir::SearchEngine` owns one analyzer and applies it to both.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace wqe::text {
+
+/// \brief Analyzer configuration.
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+};
+
+/// \brief An analyzed term: processed text plus token position and source
+/// span.  Positions index the *kept* term sequence (stopwords removed and
+/// positions compacted, as INDRI does with stopping enabled), so an exact
+/// phrase like "bridge of sighs" matches documents containing it verbatim.
+struct AnalyzedTerm {
+  std::string term;
+  uint32_t position = 0;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// \brief Tokenize → stopword-filter → stem pipeline.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {},
+                    const StopwordSet* stopwords = &StopwordSet::Default())
+      : options_(options), tokenizer_(options.tokenizer),
+        stopwords_(stopwords) {}
+
+  /// \brief Runs the full pipeline on `input`.
+  std::vector<AnalyzedTerm> Analyze(std::string_view input) const;
+
+  /// \brief Terms only, no positions.
+  std::vector<std::string> AnalyzeToStrings(std::string_view input) const;
+
+  /// \brief Applies stemming (if enabled) to one lowercase token.
+  std::string ProcessToken(std::string_view token) const;
+
+  const StopwordSet& stopwords() const { return *stopwords_; }
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+  PorterStemmer stemmer_;
+  const StopwordSet* stopwords_;
+};
+
+}  // namespace wqe::text

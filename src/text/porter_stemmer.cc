@@ -1,0 +1,273 @@
+#include "text/porter_stemmer.h"
+
+namespace wqe::text {
+
+namespace {
+
+/// Working buffer for one stemming run; implements the measure/condition
+/// primitives from Porter's paper over a mutable string.
+class Run {
+ public:
+  explicit Run(std::string word) : w_(std::move(word)) {}
+
+  std::string Take() && { return std::move(w_); }
+
+  size_t size() const { return w_.size(); }
+
+  bool IsConsonant(size_t i) const {
+    char c = w_[i];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// Porter's m: number of VC sequences in w_[0..end).
+  int Measure(size_t end) const {
+    int m = 0;
+    size_t i = 0;
+    // skip initial consonants
+    while (i < end && IsConsonant(i)) ++i;
+    for (;;) {
+      if (i >= end) return m;
+      // in vowels
+      while (i < end && !IsConsonant(i)) ++i;
+      if (i >= end) return m;
+      ++m;
+      while (i < end && IsConsonant(i)) ++i;
+    }
+  }
+
+  bool HasVowel(size_t end) const {
+    for (size_t i = 0; i < end; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool EndsWith(std::string_view suffix) const {
+    return w_.size() >= suffix.size() &&
+           std::string_view(w_).substr(w_.size() - suffix.size()) == suffix;
+  }
+
+  /// True when the stem before `suffix` ends with a double consonant.
+  bool DoubleConsonantAt(size_t end) const {
+    if (end < 2) return false;
+    if (w_[end - 1] != w_[end - 2]) return false;
+    return IsConsonant(end - 1);
+  }
+
+  /// Porter's *o: stem ends cvc where the final c is not w, x or y.
+  bool EndsCvc(size_t end) const {
+    if (end < 3) return false;
+    if (!IsConsonant(end - 3) || IsConsonant(end - 2) || !IsConsonant(end - 1))
+      return false;
+    char c = w_[end - 1];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  /// Replaces `suffix` (must match) by `repl`.
+  void Replace(std::string_view suffix, std::string_view repl) {
+    w_.resize(w_.size() - suffix.size());
+    w_.append(repl);
+  }
+
+  /// If the word ends with `suffix` and m(stem) > threshold, replaces it by
+  /// `repl` and returns true.
+  bool ReplaceIfM(std::string_view suffix, std::string_view repl,
+                  int threshold) {
+    if (!EndsWith(suffix)) return false;
+    size_t stem_end = w_.size() - suffix.size();
+    if (Measure(stem_end) > threshold) {
+      Replace(suffix, repl);
+      return true;
+    }
+    return true;  // matched but condition failed: rule families stop here
+  }
+
+  std::string& str() { return w_; }
+  const std::string& str() const { return w_; }
+
+ private:
+  std::string w_;
+};
+
+void Step1a(Run& r) {
+  if (r.EndsWith("sses")) {
+    r.Replace("sses", "ss");
+  } else if (r.EndsWith("ies")) {
+    r.Replace("ies", "i");
+  } else if (r.EndsWith("ss")) {
+    // keep
+  } else if (r.EndsWith("s") && r.size() > 1) {
+    r.Replace("s", "");
+  }
+}
+
+void Step1b(Run& r) {
+  bool second_third = false;
+  if (r.EndsWith("eed")) {
+    size_t stem_end = r.size() - 3;
+    if (r.Measure(stem_end) > 0) r.Replace("eed", "ee");
+  } else if (r.EndsWith("ed")) {
+    size_t stem_end = r.size() - 2;
+    if (r.HasVowel(stem_end)) {
+      r.Replace("ed", "");
+      second_third = true;
+    }
+  } else if (r.EndsWith("ing")) {
+    size_t stem_end = r.size() - 3;
+    if (r.HasVowel(stem_end)) {
+      r.Replace("ing", "");
+      second_third = true;
+    }
+  }
+  if (second_third) {
+    if (r.EndsWith("at") || r.EndsWith("bl") || r.EndsWith("iz")) {
+      r.str().push_back('e');
+    } else if (r.DoubleConsonantAt(r.size()) && !r.EndsWith("l") &&
+               !r.EndsWith("s") && !r.EndsWith("z")) {
+      r.str().pop_back();
+    } else if (r.Measure(r.size()) == 1 && r.EndsCvc(r.size())) {
+      r.str().push_back('e');
+    }
+  }
+}
+
+void Step1c(Run& r) {
+  if (r.EndsWith("y") && r.size() > 1 && r.HasVowel(r.size() - 1)) {
+    r.str().back() = 'i';
+  }
+}
+
+struct Rule {
+  const char* suffix;
+  const char* repl;
+};
+
+void ApplyRuleTable(Run& r, const Rule* rules, size_t n, int threshold) {
+  for (size_t i = 0; i < n; ++i) {
+    if (r.EndsWith(rules[i].suffix)) {
+      size_t stem_end = r.size() - std::string_view(rules[i].suffix).size();
+      if (r.Measure(stem_end) > threshold) {
+        r.Replace(rules[i].suffix, rules[i].repl);
+      }
+      return;  // longest-match families: first hit ends the step
+    }
+  }
+}
+
+void Step2(Run& r) {
+  static const Rule kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  // Match the longest applicable suffix, as in the original algorithm
+  // (rule order in the paper is grouped by penultimate letter; using
+  // longest-match over the whole table is equivalent for this rule set).
+  const Rule* best = nullptr;
+  size_t best_len = 0;
+  for (const Rule& rule : kRules) {
+    std::string_view s(rule.suffix);
+    if (s.size() > best_len && r.EndsWith(s)) {
+      best = &rule;
+      best_len = s.size();
+    }
+  }
+  if (best != nullptr) {
+    size_t stem_end = r.size() - best_len;
+    if (r.Measure(stem_end) > 0) r.Replace(best->suffix, best->repl);
+  }
+}
+
+void Step3(Run& r) {
+  static const Rule kRules[] = {
+      {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+  };
+  ApplyRuleTable(r, kRules, sizeof(kRules) / sizeof(kRules[0]), 0);
+}
+
+void Step4(Run& r) {
+  static const char* kSuffixes[] = {
+      "al",    "ance", "ence", "er",  "ic",  "able", "ible", "ant", "ement",
+      "ment",  "ent",  "ou",   "ism", "ate", "iti",  "ous",  "ive", "ize",
+  };
+  const char* best = nullptr;
+  size_t best_len = 0;
+  for (const char* s : kSuffixes) {
+    std::string_view sv(s);
+    if (sv.size() > best_len && r.EndsWith(sv)) {
+      best = s;
+      best_len = sv.size();
+    }
+  }
+  // "ion" requires the stem to end in s or t.
+  if (r.EndsWith("ion") && 3 > best_len) {
+    size_t stem_end = r.size() - 3;
+    if (stem_end > 0 &&
+        (r.str()[stem_end - 1] == 's' || r.str()[stem_end - 1] == 't')) {
+      best = "ion";
+      best_len = 3;
+    }
+  }
+  if (best != nullptr) {
+    size_t stem_end = r.size() - best_len;
+    if (r.Measure(stem_end) > 1) r.Replace(best, "");
+  }
+}
+
+void Step5a(Run& r) {
+  if (r.EndsWith("e")) {
+    size_t stem_end = r.size() - 1;
+    int m = r.Measure(stem_end);
+    if (m > 1 || (m == 1 && !r.EndsCvc(stem_end))) {
+      r.Replace("e", "");
+    }
+  }
+}
+
+void Step5b(Run& r) {
+  if (r.size() >= 2 && r.str().back() == 'l' &&
+      r.DoubleConsonantAt(r.size()) && r.Measure(r.size()) > 1) {
+    r.str().pop_back();
+  }
+}
+
+bool AllLowerAlpha(std::string_view w) {
+  for (char c : w) {
+    if (c < 'a' || c > 'z') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) const {
+  if (word.size() <= 2 || !AllLowerAlpha(word)) return std::string(word);
+  Run r{std::string(word)};
+  Step1a(r);
+  Step1b(r);
+  Step1c(r);
+  Step2(r);
+  Step3(r);
+  Step4(r);
+  Step5a(r);
+  Step5b(r);
+  return std::move(r).Take();
+}
+
+}  // namespace wqe::text

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file porter_stemmer.h
+/// \brief The classic Porter (1980) suffix-stripping stemmer.
+///
+/// INDRI's default English stemming is Porter-family; we implement the
+/// original five-step algorithm so that query terms and document terms
+/// conflate identically on both sides of retrieval.
+
+#include <string>
+#include <string_view>
+
+namespace wqe::text {
+
+/// \brief Stateless Porter stemmer.
+///
+/// Input is expected to be a lowercase ASCII word; tokens containing
+/// non-letters are returned unchanged (years, hyphenated compounds).
+class PorterStemmer {
+ public:
+  /// \brief Stems a single lowercase word.
+  std::string Stem(std::string_view word) const;
+};
+
+}  // namespace wqe::text

@@ -1,0 +1,219 @@
+#include "wiki/knowledge_base.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace wqe::wiki {
+
+namespace {
+constexpr std::string_view kCategoryPrefix = "category:";
+}  // namespace
+
+Result<NodeId> KnowledgeBase::AddEntry(graph::NodeKind kind,
+                                       std::string_view title,
+                                       std::string_view index_key) {
+  std::string key(index_key);
+  if (key.empty() ||
+      (kind == graph::NodeKind::kCategory &&
+       key.size() == kCategoryPrefix.size())) {
+    return Status::InvalidArgument("empty title");
+  }
+  auto it = title_index_.find(key);
+  if (it != title_index_.end()) {
+    return Status::AlreadyExists("title '", key, "' already exists as node ",
+                                 it->second);
+  }
+  NodeId id = graph_.AddNode(kind, std::string(
+                                        kind == graph::NodeKind::kCategory
+                                            ? index_key.substr(
+                                                  kCategoryPrefix.size())
+                                            : index_key));
+  display_titles_.emplace_back(title);
+  title_index_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<NodeId> KnowledgeBase::AddArticle(std::string_view title) {
+  std::string norm = NormalizeTitle(title);
+  WQE_ASSIGN_OR_RETURN(NodeId id,
+                       AddEntry(graph::NodeKind::kArticle, title, norm));
+  ++num_articles_;
+  return id;
+}
+
+Result<NodeId> KnowledgeBase::AddCategory(std::string_view name) {
+  std::string norm = std::string(kCategoryPrefix) + NormalizeTitle(name);
+  WQE_ASSIGN_OR_RETURN(NodeId id,
+                       AddEntry(graph::NodeKind::kCategory, name, norm));
+  ++num_categories_;
+  return id;
+}
+
+Result<NodeId> KnowledgeBase::AddRedirect(std::string_view alias_title,
+                                          NodeId main) {
+  WQE_RETURN_NOT_OK(graph_.CheckNode(main));
+  if (!graph_.IsArticle(main)) {
+    return Status::InvalidArgument("redirect target must be an article");
+  }
+  if (IsRedirect(main)) {
+    return Status::InvalidArgument(
+        "redirect target '", title(main),
+        "' is itself a redirect; chains are not allowed");
+  }
+  std::string norm = NormalizeTitle(alias_title);
+  WQE_ASSIGN_OR_RETURN(NodeId id,
+                       AddEntry(graph::NodeKind::kArticle, alias_title, norm));
+  WQE_RETURN_NOT_OK(graph_.AddEdge(id, main, graph::EdgeKind::kRedirect));
+  ++num_redirects_;
+  return id;
+}
+
+Status KnowledgeBase::AddLink(NodeId from, NodeId to) {
+  if (IsRedirect(from) || IsRedirect(to)) {
+    return Status::InvalidArgument(
+        "links must connect main articles, not redirects");
+  }
+  return graph_.AddEdge(from, to, graph::EdgeKind::kLink);
+}
+
+Status KnowledgeBase::AddBelongs(NodeId article, NodeId category) {
+  if (IsRedirect(article)) {
+    return Status::InvalidArgument("redirects do not belong to categories");
+  }
+  return graph_.AddEdge(article, category, graph::EdgeKind::kBelongs);
+}
+
+Status KnowledgeBase::AddInside(NodeId category, NodeId parent) {
+  return graph_.AddEdge(category, parent, graph::EdgeKind::kInside);
+}
+
+std::optional<NodeId> KnowledgeBase::FindByTitle(
+    std::string_view normalized_title) const {
+  auto it = title_index_.find(std::string(normalized_title));
+  if (it != title_index_.end()) return it->second;
+  it = title_index_.find(std::string(kCategoryPrefix) +
+                         std::string(normalized_title));
+  if (it != title_index_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::optional<NodeId> KnowledgeBase::FindArticle(
+    std::string_view normalized_title) const {
+  auto it = title_index_.find(std::string(normalized_title));
+  if (it == title_index_.end()) return std::nullopt;
+  if (!graph_.IsArticle(it->second)) return std::nullopt;
+  return it->second;
+}
+
+bool KnowledgeBase::IsRedirect(NodeId node) const {
+  if (!graph_.IsArticle(node)) return false;
+  for (const graph::Edge& e : graph_.OutEdges(node)) {
+    if (e.kind == graph::EdgeKind::kRedirect) return true;
+  }
+  return false;
+}
+
+NodeId KnowledgeBase::ResolveRedirect(NodeId node) const {
+  for (const graph::Edge& e : graph_.OutEdges(node)) {
+    if (e.kind == graph::EdgeKind::kRedirect) return e.dst;
+  }
+  return node;
+}
+
+std::vector<NodeId> KnowledgeBase::RedirectsOf(NodeId main) const {
+  std::vector<NodeId> out;
+  for (const graph::Edge& e : graph_.InEdges(main)) {
+    if (e.kind == graph::EdgeKind::kRedirect) out.push_back(e.dst);
+  }
+  return out;
+}
+
+std::vector<NodeId> KnowledgeBase::CategoriesOf(NodeId article) const {
+  std::vector<NodeId> out;
+  for (const graph::Edge& e : graph_.OutEdges(article)) {
+    if (e.kind == graph::EdgeKind::kBelongs) out.push_back(e.dst);
+  }
+  return out;
+}
+
+std::vector<NodeId> KnowledgeBase::LinkedFrom(NodeId article) const {
+  std::vector<NodeId> out;
+  for (const graph::Edge& e : graph_.OutEdges(article)) {
+    if (e.kind == graph::EdgeKind::kLink) out.push_back(e.dst);
+  }
+  return out;
+}
+
+std::vector<NodeId> KnowledgeBase::LinkingTo(NodeId article) const {
+  std::vector<NodeId> out;
+  for (const graph::Edge& e : graph_.InEdges(article)) {
+    if (e.kind == graph::EdgeKind::kLink) out.push_back(e.dst);
+  }
+  return out;
+}
+
+std::vector<NodeId> KnowledgeBase::Neighborhood(
+    const std::vector<NodeId>& sources, uint32_t radius,
+    size_t max_nodes) const {
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> out;
+  std::deque<std::pair<NodeId, uint32_t>> queue;
+  for (NodeId s : sources) {
+    if (s < graph_.num_nodes() && seen.insert(s).second) {
+      out.push_back(s);
+      queue.emplace_back(s, 0);
+    }
+  }
+  auto visit = [&](NodeId next, uint32_t depth) {
+    if (max_nodes != 0 && out.size() >= max_nodes) return;
+    if (seen.insert(next).second) {
+      out.push_back(next);
+      queue.emplace_back(next, depth);
+    }
+  };
+  while (!queue.empty()) {
+    auto [u, depth] = queue.front();
+    queue.pop_front();
+    if (depth >= radius) continue;
+    if (max_nodes != 0 && out.size() >= max_nodes) break;
+    for (const graph::Edge& e : graph_.OutEdges(u)) {
+      if (e.kind == graph::EdgeKind::kRedirect) continue;
+      visit(e.dst, depth + 1);
+    }
+    for (const graph::Edge& e : graph_.InEdges(u)) {
+      if (e.kind == graph::EdgeKind::kRedirect) continue;
+      visit(e.dst, depth + 1);
+    }
+  }
+  return out;
+}
+
+Status KnowledgeBase::Validate() const {
+  for (NodeId n = 0; n < graph_.num_nodes(); ++n) {
+    if (!graph_.IsArticle(n)) continue;
+    if (IsRedirect(n)) {
+      if (graph_.OutDegree(n) != 1) {
+        return Status::Internal("redirect '", title(n),
+                                "' has extra out-edges");
+      }
+      continue;
+    }
+    bool has_category = false;
+    for (const graph::Edge& e : graph_.OutEdges(n)) {
+      if (e.kind == graph::EdgeKind::kBelongs) {
+        has_category = true;
+        break;
+      }
+    }
+    if (!has_category) {
+      return Status::Internal("article '", title(n),
+                              "' belongs to no category");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wqe::wiki

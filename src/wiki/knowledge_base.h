@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file knowledge_base.h
+/// \brief The Wikipedia knowledge base: typed graph + title index.
+///
+/// Wraps a `graph::PropertyGraph` with the Wikipedia-specific services the
+/// paper's pipeline needs: title lookup for entity linking (§2.1), redirect
+/// resolution and redirect-derived synonyms, and category/link
+/// neighborhoods for query-graph assembly (§2.3).
+///
+/// Titles are stored normalized (lowercase, collapsed whitespace — see
+/// `NormalizeTitle`); the display title is kept separately for output.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace wqe::wiki {
+
+using graph::NodeId;
+using graph::kInvalidNode;
+
+/// \brief Mutable Wikipedia knowledge base.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// \name Construction
+  /// @{
+
+  /// \brief Adds a (main) article. Fails with AlreadyExists when the
+  /// normalized title is taken.
+  Result<NodeId> AddArticle(std::string_view title);
+
+  /// \brief Adds a category. Category names share the title namespace with
+  /// a "category:" prefix, mirroring MediaWiki.
+  Result<NodeId> AddCategory(std::string_view name);
+
+  /// \brief Adds a redirect article `alias_title` pointing at `main`.
+  /// Redirect articles carry only their redirect edge (they never close
+  /// cycles, per the paper's §4 observation).
+  Result<NodeId> AddRedirect(std::string_view alias_title, NodeId main);
+
+  /// \brief Adds an article→article hyperlink.
+  Status AddLink(NodeId from, NodeId to);
+
+  /// \brief Adds article→category membership.
+  Status AddBelongs(NodeId article, NodeId category);
+
+  /// \brief Adds category→parent-category nesting.
+  Status AddInside(NodeId category, NodeId parent);
+  /// @}
+
+  /// \name Lookup
+  /// @{
+
+  /// \brief Finds any entry (article, redirect or category) by normalized
+  /// title; `std::nullopt` when absent.
+  std::optional<NodeId> FindByTitle(std::string_view normalized_title) const;
+
+  /// \brief Finds an article (main or redirect) by normalized title.
+  std::optional<NodeId> FindArticle(std::string_view normalized_title) const;
+
+  /// \brief True when `node` is a redirect article.
+  bool IsRedirect(NodeId node) const;
+
+  /// \brief Follows the redirect edge if `node` is a redirect; identity
+  /// otherwise.
+  NodeId ResolveRedirect(NodeId node) const;
+
+  /// \brief All redirect articles pointing at `main` (the paper's synonym
+  /// source: "the synonyms of t are the titles of the redirects of a").
+  std::vector<NodeId> RedirectsOf(NodeId main) const;
+
+  /// \brief Normalized title of a node.
+  const std::string& title(NodeId node) const { return graph_.label(node); }
+
+  /// \brief Display title (original casing/punctuation).
+  const std::string& display_title(NodeId node) const {
+    return display_titles_[node];
+  }
+
+  /// \brief Categories an article belongs to.
+  std::vector<NodeId> CategoriesOf(NodeId article) const;
+
+  /// \brief Articles directly linked *from* `article`.
+  std::vector<NodeId> LinkedFrom(NodeId article) const;
+
+  /// \brief Articles directly linking *to* `article`.
+  std::vector<NodeId> LinkingTo(NodeId article) const;
+  /// @}
+
+  /// \name Graph access
+  /// @{
+  const graph::PropertyGraph& graph() const { return graph_; }
+  size_t num_articles() const { return num_articles_; }
+  size_t num_redirects() const { return num_redirects_; }
+  size_t num_categories() const { return num_categories_; }
+  /// @}
+
+  /// \brief Undirected BFS ball of radius `radius` around `sources`,
+  /// traversing link/belongs/inside edges both ways (never redirects).
+  /// `max_nodes` truncates the frontier expansion (0 = unlimited).
+  std::vector<NodeId> Neighborhood(const std::vector<NodeId>& sources,
+                                   uint32_t radius, size_t max_nodes) const;
+
+  /// \brief Schema integrity check: every non-redirect article belongs to
+  /// at least one category; every redirect has exactly one out-edge (its
+  /// redirect) and no other edges.
+  Status Validate() const;
+
+ private:
+  Result<NodeId> AddEntry(graph::NodeKind kind, std::string_view title,
+                          std::string_view index_key);
+
+  graph::PropertyGraph graph_;
+  std::vector<std::string> display_titles_;
+  std::unordered_map<std::string, NodeId> title_index_;
+  size_t num_articles_ = 0;
+  size_t num_redirects_ = 0;
+  size_t num_categories_ = 0;
+};
+
+}  // namespace wqe::wiki

@@ -1,0 +1,168 @@
+#include "wiki/wordlist.h"
+
+namespace wqe::wiki {
+
+namespace {
+
+// Loosely themed so consecutive 8-word chunks (one chunk per synthetic
+// domain) read like a coherent topic.
+const char* const kBaseWords[] = {
+    // waterways / venice-like
+    "venice", "canal", "gondola", "lagoon", "regatta", "bridge", "palace",
+    "pier",
+    // mountains
+    "mountain", "summit", "glacier", "ridge", "avalanche", "alpine", "peak",
+    "valley",
+    // desert
+    "desert", "dune", "oasis", "caravan", "nomad", "mirage", "sandstone",
+    "scorpion",
+    // ocean
+    "ocean", "reef", "coral", "tide", "harbor", "lighthouse", "sailor",
+    "shipwreck",
+    // forest
+    "forest", "timber", "canopy", "fern", "moss", "lumber", "grove", "thicket",
+    // painting
+    "painting", "fresco", "canvas", "pigment", "portrait", "easel", "mural",
+    "gallery",
+    // music
+    "music", "symphony", "violin", "opera", "concerto", "chorus", "sonata",
+    "orchestra",
+    // architecture
+    "architecture", "cathedral", "arch", "column", "facade", "vault", "spire",
+    "basilica",
+    // astronomy
+    "astronomy", "telescope", "nebula", "comet", "eclipse", "orbit", "quasar",
+    "galaxy",
+    // chemistry
+    "chemistry", "molecule", "crystal", "reagent", "solvent", "catalyst",
+    "isotope", "polymer",
+    // railways
+    "railway", "locomotive", "station", "viaduct", "signal", "carriage",
+    "tunnel", "platform",
+    // aviation
+    "aviation", "glider", "propeller", "runway", "cockpit", "altimeter",
+    "biplane", "hangar",
+    // cuisine
+    "cuisine", "saffron", "pastry", "vineyard", "olive", "truffle", "spice",
+    "orchard",
+    // textiles
+    "textile", "loom", "silk", "tapestry", "dye", "weave", "linen", "garment",
+    // medicine
+    "medicine", "surgeon", "anatomy", "vaccine", "clinic", "remedy", "plague",
+    "quarantine",
+    // law
+    "law", "tribunal", "statute", "verdict", "charter", "decree", "jury",
+    "magistrate",
+    // printing
+    "printing", "typeface", "folio", "manuscript", "parchment", "engraving",
+    "lithograph", "binding",
+    // photography
+    "photography", "daguerreotype", "shutter", "negative", "darkroom",
+    "tripod", "lens", "exposure",
+    // cartography
+    "cartography", "atlas", "meridian", "compass", "longitude", "surveyor",
+    "globe", "projection",
+    // archaeology
+    "archaeology", "excavation", "artifact", "pottery", "tomb", "relic",
+    "obelisk", "hieroglyph",
+    // botany
+    "botany", "orchid", "pollen", "seedling", "herbarium", "stamen", "lichen",
+    "arboretum",
+    // zoology
+    "zoology", "falcon", "otter", "heron", "badger", "lynx", "marmot",
+    "kingfisher",
+    // fishing
+    "fishing", "trawler", "herring", "net", "wharf", "angler", "bait",
+    "salmon",
+    // mining
+    "mining", "quarry", "ore", "shaft", "prospector", "smelter", "vein",
+    "colliery",
+    // astronomy2 / navigation
+    "navigation", "sextant", "astrolabe", "chronometer", "voyage", "helm",
+    "mast", "rudder",
+    // theatre
+    "theatre", "tragedy", "playwright", "stagecraft", "costume", "rehearsal",
+    "curtain", "matinee",
+    // sculpture
+    "sculpture", "marble", "bronze", "chisel", "pedestal", "statue", "relief",
+    "foundry",
+    // monastery
+    "monastery", "abbey", "cloister", "monk", "scriptorium", "pilgrim",
+    "chapel", "hermitage",
+    // festivals
+    "festival", "carnival", "parade", "lantern", "masquerade", "bonfire",
+    "pageant", "jubilee",
+    // clockmaking
+    "clockmaking", "pendulum", "escapement", "mainspring", "horology",
+    "sundial", "gearwheel", "winder",
+    // glasswork
+    "glasswork", "furnace", "blower", "stained", "prism", "goblet", "kiln",
+    "enamel",
+    // agriculture
+    "agriculture", "harvest", "plough", "granary", "meadow", "irrigation",
+    "fallow", "scythe",
+    // winemaking
+    "winemaking", "cellar", "barrel", "vintage", "cork", "press", "tannin",
+    "decanter",
+    // beekeeping
+    "beekeeping", "apiary", "hive", "honeycomb", "swarm", "nectar", "drone",
+    "propolis",
+    // falconry
+    "falconry", "gauntlet", "jess", "mews", "perch", "tiercel", "lure",
+    "austringer",
+    // libraries
+    "library", "archive", "catalogue", "codex", "lectern", "index", "vellum",
+    "repository",
+    // bridges (civil engineering)
+    "engineering", "truss", "girder", "abutment", "cantilever", "caisson",
+    "span", "pylon",
+    // weather
+    "weather", "barometer", "monsoon", "cyclone", "frost", "drizzle",
+    "thunder", "humidity",
+    // volcanoes
+    "volcano", "caldera", "magma", "basalt", "eruption", "fumarole", "lava",
+    "pumice",
+    // rivers
+    "river", "delta", "estuary", "rapids", "floodplain", "tributary", "weir",
+    "confluence",
+};
+
+constexpr size_t kNumBaseWords = sizeof(kBaseWords) / sizeof(kBaseWords[0]);
+
+// Syllables for pseudo-words beyond the base list.
+const char* const kOnsets[] = {"b", "d", "f", "g", "k", "l", "m",
+                               "n", "p", "r", "s", "t", "v", "z"};
+const char* const kNuclei[] = {"a", "e", "i", "o", "u", "ai", "or"};
+const char* const kCodas[] = {"", "n", "l", "r", "s", "k"};
+
+}  // namespace
+
+size_t BaseWordCount() { return kNumBaseWords; }
+
+std::string VocabularyWord(size_t i) {
+  if (i < kNumBaseWords) return kBaseWords[i];
+  // Deterministic 3-syllable pseudo-word derived from the index.
+  size_t x = i - kNumBaseWords;
+  std::string w;
+  for (int syll = 0; syll < 3; ++syll) {
+    w += kOnsets[x % 14];
+    x /= 14;
+    w += kNuclei[x % 7];
+    x /= 7;
+    if (syll == 2) {
+      w += kCodas[x % 6];
+      x /= 6;
+    }
+  }
+  if (x > 0) w += std::to_string(x);
+  return w;
+}
+
+std::vector<std::string> VocabularySlice(size_t begin, size_t count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(VocabularyWord(begin + i));
+  return out;
+}
+
+}  // namespace wqe::wiki

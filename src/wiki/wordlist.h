@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file wordlist.h
+/// \brief Deterministic vocabulary for the synthetic Wikipedia.
+///
+/// The generator composes article titles, category names and document text
+/// from this vocabulary.  A fixed base list of English nouns/adjectives
+/// keeps examples readable; when a configuration needs more words than the
+/// base list provides, deterministic syllabic pseudo-words extend it
+/// indefinitely (word i is always the same string).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wqe::wiki {
+
+/// \brief Number of words in the curated base list.
+size_t BaseWordCount();
+
+/// \brief The i-th vocabulary word: base list first, then deterministic
+/// pseudo-words ("soridan", "velkamo", ...) for i >= BaseWordCount().
+std::string VocabularyWord(size_t i);
+
+/// \brief Convenience: words [begin, begin+count).
+std::vector<std::string> VocabularySlice(size_t begin, size_t count);
+
+}  // namespace wqe::wiki

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file xml_parser.h
+/// \brief Minimal non-validating XML pull parser.
+///
+/// Supports exactly what the ImageCLEF metadata files (paper Figure 2) and
+/// MediaWiki dump pages need: elements, attributes, character data, entity
+/// references, comments, CDATA, and processing instructions / declarations
+/// (skipped).  No DTDs, namespaces are treated as part of the name.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace wqe::xml {
+
+/// \brief Kind of event produced by the pull parser.
+enum class EventType {
+  kStartElement,
+  kEndElement,
+  kCharacters,
+  kEndDocument,
+};
+
+/// \brief One attribute on a start-element event.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// \brief One pull event.
+struct Event {
+  EventType type = EventType::kEndDocument;
+  std::string name;               ///< element name (start/end)
+  std::string text;               ///< character data (kCharacters)
+  std::vector<Attribute> attrs;   ///< attributes (kStartElement)
+  bool self_closing = false;      ///< `<a/>`: start event flagged; a
+                                  ///< matching end event is synthesized
+
+  /// \brief Attribute lookup; returns empty string when absent.
+  std::string_view Attr(std::string_view name) const;
+  /// \brief True when the attribute is present.
+  bool HasAttr(std::string_view name) const;
+};
+
+/// \brief Pull parser over an in-memory document.
+///
+/// Typical loop:
+/// \code
+///   PullParser p(doc);
+///   for (;;) {
+///     WQE_ASSIGN_OR_RETURN(Event ev, p.Next());
+///     if (ev.type == EventType::kEndDocument) break;
+///     ...
+///   }
+/// \endcode
+class PullParser {
+ public:
+  explicit PullParser(std::string_view input) : input_(input) {}
+
+  /// \brief Produces the next event, or a ParseError status.
+  Result<Event> Next();
+
+  /// \brief Byte offset of the parse cursor (for error reporting).
+  size_t offset() const { return pos_; }
+
+  /// \brief Current element nesting depth.
+  size_t depth() const { return open_.size(); }
+
+  /// \brief Skips the remainder of the current element (the one whose start
+  /// event was just returned), including all children.
+  Status SkipElement();
+
+  /// \brief Collects concatenated character data until the current element
+  /// closes. Child elements' text is included; markup is dropped.
+  Result<std::string> ReadElementText();
+
+ private:
+  Result<Event> ParseMarkup();
+  Status SkipMisc(std::string_view open_mark, std::string_view close_mark);
+  Result<std::string> DecodeEntities(std::string_view raw) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::vector<std::string> open_;
+  bool pending_end_ = false;       ///< self-closing end event pending
+  std::string pending_end_name_;
+  bool done_ = false;
+};
+
+/// \brief Decodes the five predefined XML entities plus numeric references.
+Result<std::string> DecodeXmlEntities(std::string_view raw);
+
+/// \brief Escapes text for use as XML character data or attribute values.
+std::string EscapeXml(std::string_view raw);
+
+}  // namespace wqe::xml

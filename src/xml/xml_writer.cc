@@ -1,0 +1,89 @@
+#include "xml/xml_writer.h"
+
+#include "common/macros.h"
+#include "xml/xml_parser.h"
+
+namespace wqe::xml {
+
+void XmlWriter::WriteDeclaration() {
+  WQE_CHECK(buf_.empty());
+  buf_ += "<?xml version=\"1.0\" encoding=\"UTF-8\" ?>\n";
+}
+
+void XmlWriter::CloseStartTag() {
+  if (start_tag_open_) {
+    buf_ += ">";
+    start_tag_open_ = false;
+  }
+}
+
+void XmlWriter::Indent() {
+  if (indent_ <= 0) return;
+  buf_ += "\n";
+  buf_.append(open_.size() * static_cast<size_t>(indent_), ' ');
+}
+
+void XmlWriter::StartElement(std::string_view name) {
+  CloseStartTag();
+  if (!buf_.empty() && !open_.empty()) Indent();
+  else if (!buf_.empty() && buf_.back() != '\n' && indent_ > 0) buf_ += "\n";
+  buf_ += "<";
+  buf_.append(name);
+  open_.emplace_back(name);
+  start_tag_open_ = true;
+  just_wrote_text_ = false;
+}
+
+void XmlWriter::WriteAttribute(std::string_view name, std::string_view value) {
+  WQE_CHECK(start_tag_open_);
+  buf_ += " ";
+  buf_.append(name);
+  buf_ += "=\"";
+  buf_ += EscapeXml(value);
+  buf_ += "\"";
+}
+
+void XmlWriter::WriteText(std::string_view text) {
+  WQE_CHECK(!open_.empty());
+  CloseStartTag();
+  buf_ += EscapeXml(text);
+  just_wrote_text_ = true;
+}
+
+void XmlWriter::EndElement() {
+  WQE_CHECK(!open_.empty());
+  std::string name = open_.back();
+  open_.pop_back();
+  if (start_tag_open_) {
+    buf_ += " />";
+    start_tag_open_ = false;
+  } else {
+    if (!just_wrote_text_ && indent_ > 0) {
+      buf_ += "\n";
+      buf_.append(open_.size() * static_cast<size_t>(indent_), ' ');
+    }
+    buf_ += "</";
+    buf_ += name;
+    buf_ += ">";
+  }
+  just_wrote_text_ = false;
+}
+
+void XmlWriter::WriteElement(std::string_view name, std::string_view text) {
+  StartElement(name);
+  if (!text.empty()) WriteText(text);
+  EndElement();
+}
+
+void XmlWriter::WriteEmptyElement(std::string_view name) {
+  StartElement(name);
+  EndElement();
+}
+
+std::string XmlWriter::TakeString() {
+  WQE_CHECK(open_.empty());
+  if (indent_ > 0 && !buf_.empty() && buf_.back() != '\n') buf_ += "\n";
+  return std::move(buf_);
+}
+
+}  // namespace wqe::xml

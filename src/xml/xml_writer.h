@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file xml_writer.h
+/// \brief Streaming XML writer with automatic escaping and indentation.
+///
+/// Used by the CLEF track generator (image metadata files, Figure 2 schema)
+/// and the wiki dump writer; round-trips through `PullParser` in tests.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wqe::xml {
+
+/// \brief Builds an XML document in memory.
+class XmlWriter {
+ public:
+  /// \param indent spaces per nesting level; 0 writes a compact document.
+  explicit XmlWriter(int indent = 2) : indent_(indent) {}
+
+  /// \brief Writes the `<?xml ...?>` declaration (call first).
+  void WriteDeclaration();
+
+  /// \brief Opens an element; attributes are added with WriteAttribute
+  /// before any content is written.
+  void StartElement(std::string_view name);
+
+  /// \brief Adds an attribute to the most recently started element.
+  /// Must be called before text or child elements are written.
+  void WriteAttribute(std::string_view name, std::string_view value);
+
+  /// \brief Writes escaped character data inside the current element.
+  void WriteText(std::string_view text);
+
+  /// \brief Closes the current element.
+  void EndElement();
+
+  /// \brief Convenience: `<name>text</name>`.
+  void WriteElement(std::string_view name, std::string_view text);
+
+  /// \brief Convenience: empty element `<name />`.
+  void WriteEmptyElement(std::string_view name);
+
+  /// \brief The document so far. All elements must be closed.
+  std::string TakeString();
+
+  size_t depth() const { return open_.size(); }
+
+ private:
+  void CloseStartTag();
+  void Indent();
+
+  int indent_;
+  std::string buf_;
+  std::vector<std::string> open_;
+  bool start_tag_open_ = false;   ///< '<name' emitted, '>' pending
+  bool just_wrote_text_ = false;  ///< suppress indent before end tag
+};
+
+}  // namespace wqe::xml

@@ -1,0 +1,369 @@
+/// \file common_test.cc
+/// \brief Unit tests for the common substrate: Status/Result, RNG,
+/// string utilities, statistics, table printing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace wqe {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactoriesSetCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad value: ", 42);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad value: 42");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad value: 42");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughToString) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::CapacityError("x").IsCapacityError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, WithContextAppendsDetail) {
+  Status st = Status::NotFound("article");
+  Status ctx = st.WithContext("while linking");
+  EXPECT_TRUE(ctx.IsNotFound());
+  EXPECT_EQ(ctx.message(), "article; while linking");
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Internal("x"));
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  WQE_ASSIGN_OR_RETURN(int h, Half(x));
+  WQE_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());
+  EXPECT_TRUE(Quarter(7).status().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ZipfFavorsSmallRanks) {
+  Rng rng(11);
+  size_t first_two = 0;
+  const int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint32_t v = rng.Zipf(100, 1.2);
+    EXPECT_LT(v, 100u);
+    if (v < 2) ++first_two;
+  }
+  // Ranks 0 and 1 should receive far more than the uniform share (2%).
+  EXPECT_GT(first_two, kDraws / 10);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.Gaussian(10.0, 2.0);
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / kDraws;
+  double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.2);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.2);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(17);
+  std::vector<uint32_t> sample = rng.SampleWithoutReplacement(50, 20);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (uint32_t v : sample) EXPECT_LT(v, 50u);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 5).size(), 5u);
+}
+
+TEST(RngTest, WeightedChoiceRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 2000; ++i) {
+    ++counts[rng.WeightedChoice(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 4);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(23);
+  Rng child1 = parent.Fork(1);
+  Rng parent2(23);
+  Rng child2 = parent2.Fork(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child1.NextU64(), child2.NextU64());
+  }
+}
+
+// ----------------------------------------------------------- string_util
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("Hello World 42"), "hello world 42");
+  EXPECT_EQ(ToUpper("hello"), "HELLO");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nab\r "), "ab");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  a \t b\n\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinAndReplace) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(ReplaceAll("aXbXc", "X", "--"), "a--b--c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("category:foo", "category:"));
+  EXPECT_FALSE(StartsWith("cat", "category:"));
+  EXPECT_TRUE(EndsWith("image.jpg", ".jpg"));
+  EXPECT_FALSE(EndsWith("jpg", "image.jpg"));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Category:", "category:"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringUtilTest, Fnv1a64IsStable) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+  // Known FNV-1a vector.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+}
+
+TEST(StringUtilTest, NormalizeTitle) {
+  EXPECT_EQ(NormalizeTitle("  Grand   Canal "), "grand canal");
+  EXPECT_EQ(NormalizeTitle("Bridge_of_Sighs"), "bridge of sighs");
+  EXPECT_EQ(NormalizeTitle("VENICE"), "venice");
+  EXPECT_EQ(NormalizeTitle(""), "");
+  EXPECT_EQ(NormalizeTitle("___"), "");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.5, 3), "0.500");
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(StatsTest, SummarizeKnownQuartiles) {
+  // R-7 quartiles of 1..5 are exactly 2, 3, 4.
+  FiveNumberSummary s = Summarize({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.q1, 2);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.q3, 4);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_EQ(s.n, 5u);
+}
+
+TEST(StatsTest, SummarizeEmptyAndSingle) {
+  FiveNumberSummary empty = Summarize({});
+  EXPECT_EQ(empty.n, 0u);
+  FiveNumberSummary one = Summarize({3.5});
+  EXPECT_DOUBLE_EQ(one.median, 3.5);
+  EXPECT_DOUBLE_EQ(one.min, 3.5);
+  EXPECT_DOUBLE_EQ(one.max, 3.5);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> sorted = {0, 10};
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.25), 2.5);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(StdDev({1}), 0.0);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, FitLineRecoversSlope) {
+  LinearFit fit = FitLine({0, 1, 2, 3}, {1, 3, 5, 7});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(StatsTest, FitLineDegenerateX) {
+  LinearFit fit = FitLine({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+// ---------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t("demo");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string rendered = t.Render();
+  EXPECT_NE(rendered.find("== demo =="), std::string::npos);
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecials) {
+  TablePrinter t("csv");
+  t.SetHeader({"a", "b"});
+  t.AddRow({"x,y", "he said \"hi\""});
+  std::string csv = t.RenderCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleRowFormatting) {
+  TablePrinter t("doubles");
+  t.SetHeader({"label", "v1", "v2"});
+  t.AddRow("row", {0.12345, 2.0}, 2);
+  EXPECT_NE(t.Render().find("0.12"), std::string::npos);
+  EXPECT_NE(t.Render().find("2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,327 @@
+/// \file cycles_test.cc
+/// \brief Tests for cycle enumeration and cycle metrics — the paper's core
+/// structural machinery.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/cycle_metrics.h"
+#include "graph/cycles.h"
+#include "graph/graph.h"
+#include "graph/undirected_view.h"
+
+namespace wqe::graph {
+namespace {
+
+/// Articles 0..n-1 with a single directed link per unordered pair
+/// (i -> j for i < j): the undirected view is the complete graph K_n.
+PropertyGraph CompleteArticleGraph(uint32_t n) {
+  PropertyGraph g;
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddNode(NodeKind::kArticle, "a" + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      EXPECT_TRUE(g.AddEdge(i, j, EdgeKind::kLink).ok());
+    }
+  }
+  return g;
+}
+
+size_t CountCyclesOfLength(const std::vector<Cycle>& cycles, uint32_t len) {
+  size_t n = 0;
+  for (const Cycle& c : cycles) {
+    if (c.length() == len) ++n;
+  }
+  return n;
+}
+
+TEST(CycleEnumeratorTest, TriangleFoundOnce) {
+  PropertyGraph g = CompleteArticleGraph(3);
+  UndirectedView view(g);
+  CycleEnumerator e(view);
+  CycleEnumerationOptions options;
+  std::vector<Cycle> cycles = e.Enumerate(options);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].length(), 3u);
+  // Canonical form starts at the smallest node.
+  EXPECT_EQ(cycles[0].nodes[0], 0u);
+  EXPECT_LT(cycles[0].nodes[1], cycles[0].nodes[2]);
+}
+
+TEST(CycleEnumeratorTest, TwoCycleNeedsParallelEdges) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeKind::kArticle, "a");
+  NodeId b = g.AddNode(NodeKind::kArticle, "b");
+  ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kLink).ok());
+  {
+    UndirectedView view(g);
+    CycleEnumerator e(view);
+    EXPECT_TRUE(e.Enumerate({}).empty());  // single link: no 2-cycle
+  }
+  ASSERT_TRUE(g.AddEdge(b, a, EdgeKind::kLink).ok());
+  {
+    UndirectedView view(g);
+    CycleEnumerator e(view);
+    std::vector<Cycle> cycles = e.Enumerate({});
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_EQ(cycles[0].length(), 2u);
+  }
+}
+
+TEST(CycleEnumeratorTest, RedirectNeverClosesCycle) {
+  // Redirect r -> a plus link a -> r would be a parallel pair, but the
+  // redirect edge is excluded from the cycle view (paper §4).
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeKind::kArticle, "a");
+  NodeId r = g.AddNode(NodeKind::kArticle, "r");
+  ASSERT_TRUE(g.AddEdge(r, a, EdgeKind::kRedirect).ok());
+  ASSERT_TRUE(g.AddEdge(a, r, EdgeKind::kLink).ok());
+  UndirectedView view(g);
+  CycleEnumerator e(view);
+  EXPECT_TRUE(e.Enumerate({}).empty());
+}
+
+/// Number of distinct cycles of length k in K_n: C(n,k) * (k-1)! / 2.
+size_t ExpectedCyclesInComplete(uint32_t n, uint32_t k) {
+  auto choose = [](uint32_t a, uint32_t b) -> size_t {
+    size_t r = 1;
+    for (uint32_t i = 0; i < b; ++i) r = r * (a - i) / (i + 1);
+    return r;
+  };
+  size_t fact = 1;
+  for (uint32_t i = 2; i < k; ++i) fact *= i;
+  return choose(n, k) * fact / 2;
+}
+
+class CompleteGraphCycleTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(CompleteGraphCycleTest, CountMatchesClosedForm) {
+  auto [n, k] = GetParam();
+  PropertyGraph g = CompleteArticleGraph(n);
+  UndirectedView view(g);
+  CycleEnumerator e(view);
+  CycleEnumerationOptions options;
+  options.min_length = k;
+  options.max_length = k;
+  std::vector<Cycle> cycles = e.Enumerate(options);
+  EXPECT_EQ(cycles.size(), ExpectedCyclesInComplete(n, k))
+      << "K_" << n << ", length " << k;
+  // Each enumerated cycle must be a set of k distinct nodes.
+  for (const Cycle& c : cycles) {
+    std::set<NodeId> unique(c.nodes.begin(), c.nodes.end());
+    EXPECT_EQ(unique.size(), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnCounts, CompleteGraphCycleTest,
+    ::testing::Values(std::make_tuple(4u, 3u), std::make_tuple(4u, 4u),
+                      std::make_tuple(5u, 3u), std::make_tuple(5u, 4u),
+                      std::make_tuple(5u, 5u), std::make_tuple(6u, 3u),
+                      std::make_tuple(6u, 4u), std::make_tuple(6u, 5u),
+                      std::make_tuple(7u, 5u)));
+
+TEST(CycleEnumeratorTest, SeedFilterKeepsOnlyTouchingCycles) {
+  // Two disjoint triangles; seed in the first.
+  PropertyGraph g;
+  for (int i = 0; i < 6; ++i) {
+    g.AddNode(NodeKind::kArticle, "a" + std::to_string(i));
+  }
+  for (auto [u, v] : {std::pair{0, 1}, {1, 2}, {0, 2},
+                      {3, 4}, {4, 5}, {3, 5}}) {
+    ASSERT_TRUE(g.AddEdge(u, v, EdgeKind::kLink).ok());
+  }
+  UndirectedView view(g);
+  CycleEnumerator e(view);
+  CycleEnumerationOptions options;
+  options.seeds = {0};
+  std::vector<Cycle> cycles = e.Enumerate(options);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].nodes[0], 0u);
+}
+
+TEST(CycleEnumeratorTest, MaxCyclesCapsEnumeration) {
+  PropertyGraph g = CompleteArticleGraph(7);
+  UndirectedView view(g);
+  CycleEnumerator e(view);
+  CycleEnumerationOptions options;
+  options.max_cycles = 5;
+  EXPECT_EQ(e.Enumerate(options).size(), 5u);
+}
+
+TEST(CycleEnumeratorTest, VisitorCanAbort) {
+  PropertyGraph g = CompleteArticleGraph(6);
+  UndirectedView view(g);
+  CycleEnumerator e(view);
+  size_t seen = 0;
+  e.Visit({}, [&](const std::vector<uint32_t>&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(CycleEnumeratorTest, LengthBoundsRespected) {
+  PropertyGraph g = CompleteArticleGraph(6);
+  UndirectedView view(g);
+  CycleEnumerator e(view);
+  CycleEnumerationOptions options;
+  options.min_length = 4;
+  options.max_length = 5;
+  std::vector<Cycle> cycles = e.Enumerate(options);
+  EXPECT_EQ(CountCyclesOfLength(cycles, 3), 0u);
+  EXPECT_EQ(CountCyclesOfLength(cycles, 4),
+            ExpectedCyclesInComplete(6, 4));
+  EXPECT_EQ(CountCyclesOfLength(cycles, 5),
+            ExpectedCyclesInComplete(6, 5));
+}
+
+TEST(CycleEnumeratorTest, MixedArticleCategoryCycle) {
+  // The paper's Figure 4(b) shape: venice - grand canal - palazzo bembo
+  // via links and a shared category forms length-3 cycles.
+  PropertyGraph g;
+  NodeId q = g.AddNode(NodeKind::kArticle, "venice");
+  NodeId x = g.AddNode(NodeKind::kArticle, "grand canal");
+  NodeId c = g.AddNode(NodeKind::kCategory, "canals");
+  ASSERT_TRUE(g.AddEdge(q, x, EdgeKind::kLink).ok());
+  ASSERT_TRUE(g.AddEdge(q, c, EdgeKind::kBelongs).ok());
+  ASSERT_TRUE(g.AddEdge(x, c, EdgeKind::kBelongs).ok());
+  UndirectedView view(g);
+  CycleEnumerator e(view);
+  std::vector<Cycle> cycles = e.Enumerate({});
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].length(), 3u);
+}
+
+// ------------------------------------------------------------ CycleMetrics
+
+TEST(CycleMetricsTest, MaxEdgesFormula) {
+  EXPECT_EQ(MaxCycleEdges(2, 0), 2u);
+  EXPECT_EQ(MaxCycleEdges(2, 1), 4u);
+  EXPECT_EQ(MaxCycleEdges(2, 2), 7u);
+  EXPECT_EQ(MaxCycleEdges(3, 0), 6u);
+  EXPECT_EQ(MaxCycleEdges(3, 2), 13u);
+  EXPECT_EQ(MaxCycleEdges(0, 0), 0u);
+  EXPECT_EQ(MaxCycleEdges(0, 3), 3u);
+}
+
+TEST(CycleMetricsTest, DenseTriangleWithCategory) {
+  // a <-> b mutual links; both belong to c: E=4, M=4, density 1.
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeKind::kArticle, "a");
+  NodeId b = g.AddNode(NodeKind::kArticle, "b");
+  NodeId c = g.AddNode(NodeKind::kCategory, "c");
+  ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kLink).ok());
+  ASSERT_TRUE(g.AddEdge(b, a, EdgeKind::kLink).ok());
+  ASSERT_TRUE(g.AddEdge(a, c, EdgeKind::kBelongs).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, EdgeKind::kBelongs).ok());
+  Cycle cycle;
+  cycle.nodes = {a, b, c};
+  CycleMetrics m = ComputeCycleMetrics(g, cycle);
+  EXPECT_EQ(m.length, 3u);
+  EXPECT_EQ(m.num_articles, 2u);
+  EXPECT_EQ(m.num_categories, 1u);
+  EXPECT_EQ(m.num_edges, 4u);
+  EXPECT_EQ(m.max_edges, 4u);
+  EXPECT_NEAR(m.category_ratio, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.extra_edge_density, 1.0);
+}
+
+TEST(CycleMetricsTest, PlainCategoryBridgedFourCycleHasZeroDensity) {
+  // q - c1 - x - c2 - q with no chords: E = |C| = 4 → density 0.
+  PropertyGraph g;
+  NodeId q = g.AddNode(NodeKind::kArticle, "q");
+  NodeId x = g.AddNode(NodeKind::kArticle, "x");
+  NodeId c1 = g.AddNode(NodeKind::kCategory, "c1");
+  NodeId c2 = g.AddNode(NodeKind::kCategory, "c2");
+  ASSERT_TRUE(g.AddEdge(q, c1, EdgeKind::kBelongs).ok());
+  ASSERT_TRUE(g.AddEdge(x, c1, EdgeKind::kBelongs).ok());
+  ASSERT_TRUE(g.AddEdge(q, c2, EdgeKind::kBelongs).ok());
+  ASSERT_TRUE(g.AddEdge(x, c2, EdgeKind::kBelongs).ok());
+  Cycle cycle;
+  cycle.nodes = {q, c1, x, c2};
+  CycleMetrics m = ComputeCycleMetrics(g, cycle);
+  EXPECT_EQ(m.num_edges, 4u);
+  EXPECT_EQ(m.max_edges, 7u);
+  EXPECT_DOUBLE_EQ(m.extra_edge_density, 0.0);
+  EXPECT_DOUBLE_EQ(m.category_ratio, 0.5);
+}
+
+TEST(CycleMetricsTest, ChordRaisesDensity) {
+  // Same 4-cycle plus c1 inside c2: one extra edge → density 1/3.
+  PropertyGraph g;
+  NodeId q = g.AddNode(NodeKind::kArticle, "q");
+  NodeId x = g.AddNode(NodeKind::kArticle, "x");
+  NodeId c1 = g.AddNode(NodeKind::kCategory, "c1");
+  NodeId c2 = g.AddNode(NodeKind::kCategory, "c2");
+  ASSERT_TRUE(g.AddEdge(q, c1, EdgeKind::kBelongs).ok());
+  ASSERT_TRUE(g.AddEdge(x, c1, EdgeKind::kBelongs).ok());
+  ASSERT_TRUE(g.AddEdge(q, c2, EdgeKind::kBelongs).ok());
+  ASSERT_TRUE(g.AddEdge(x, c2, EdgeKind::kBelongs).ok());
+  ASSERT_TRUE(g.AddEdge(c1, c2, EdgeKind::kInside).ok());
+  Cycle cycle;
+  cycle.nodes = {q, c1, x, c2};
+  CycleMetrics m = ComputeCycleMetrics(g, cycle);
+  EXPECT_EQ(m.num_edges, 5u);
+  EXPECT_NEAR(m.extra_edge_density, 1.0 / 3.0, 1e-12);
+}
+
+TEST(CycleMetricsTest, TwoCycleDensityGuard) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeKind::kArticle, "a");
+  NodeId b = g.AddNode(NodeKind::kArticle, "b");
+  ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kLink).ok());
+  ASSERT_TRUE(g.AddEdge(b, a, EdgeKind::kLink).ok());
+  Cycle cycle;
+  cycle.nodes = {a, b};
+  CycleMetrics m = ComputeCycleMetrics(g, cycle);
+  EXPECT_EQ(m.num_edges, 2u);
+  EXPECT_EQ(m.max_edges, 2u);  // M == |C|: density undefined → 0
+  EXPECT_DOUBLE_EQ(m.extra_edge_density, 0.0);
+}
+
+TEST(CycleMetricsTest, RedirectEdgesExcludedFromInducedCount) {
+  PropertyGraph g;
+  NodeId a = g.AddNode(NodeKind::kArticle, "a");
+  NodeId b = g.AddNode(NodeKind::kArticle, "b");
+  ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kLink).ok());
+  ASSERT_TRUE(g.AddEdge(b, a, EdgeKind::kRedirect).ok());
+  EXPECT_EQ(CountInducedEdges(g, {a, b}), 1u);
+}
+
+TEST(ReciprocalLinkRateTest, CountsMutualFraction) {
+  PropertyGraph g;
+  for (int i = 0; i < 4; ++i) {
+    g.AddNode(NodeKind::kArticle, "a" + std::to_string(i));
+  }
+  // Pairs: (0,1) mutual, (0,2) single, (1,3) single → rate 1/3.
+  ASSERT_TRUE(g.AddEdge(0, 1, EdgeKind::kLink).ok());
+  ASSERT_TRUE(g.AddEdge(1, 0, EdgeKind::kLink).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, EdgeKind::kLink).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, EdgeKind::kLink).ok());
+  EXPECT_NEAR(ReciprocalLinkRate(g), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ReciprocalLinkRateTest, EmptyGraphIsZero) {
+  PropertyGraph g;
+  EXPECT_DOUBLE_EQ(ReciprocalLinkRate(g), 0.0);
+}
+
+TEST(EnumerateCyclesHelperTest, InducedConvenienceWrapper) {
+  PropertyGraph g = CompleteArticleGraph(5);
+  CycleEnumerationOptions options;
+  options.min_length = 3;
+  options.max_length = 3;
+  // Restrict to 4 of the 5 nodes: C(4,3) = 4 triangles.
+  std::vector<Cycle> cycles = EnumerateCycles(g, {0, 1, 2, 3}, options);
+  EXPECT_EQ(cycles.size(), 4u);
+  for (const Cycle& c : cycles) {
+    for (NodeId n : c.nodes) EXPECT_LT(n, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace wqe::graph

@@ -1,0 +1,203 @@
+/// \file integration_test.cc
+/// \brief Cross-module end-to-end checks: the whole §2→§3→§4 pipeline on a
+/// mid-size instance, asserting the paper's headline shapes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/paper_report.h"
+#include "analysis/query_graph_analysis.h"
+#include "expansion/baselines.h"
+#include "expansion/cycle_expander.h"
+#include "expansion/evaluation.h"
+#include "groundtruth/ground_truth.h"
+#include "groundtruth/pipeline.h"
+#include "wiki/dump.h"
+
+namespace wqe {
+namespace {
+
+struct EndToEnd {
+  const groundtruth::Pipeline* pipeline;
+  groundtruth::GroundTruth gt;
+  std::vector<analysis::TopicAnalysis> analyses;
+};
+
+const EndToEnd& Context() {
+  static const EndToEnd* kContext = [] {
+    auto* ctx = new EndToEnd();
+    groundtruth::PipelineOptions options;
+    options.wiki.num_domains = 20;
+    options.track.num_topics = 12;
+    options.track.background_docs = 300;
+    auto pipeline = groundtruth::Pipeline::Build(options);
+    EXPECT_TRUE(pipeline.ok()) << pipeline.status();
+    ctx->pipeline = pipeline->release();
+
+    groundtruth::XqOptimizerOptions xq;
+    xq.restarts = 1;
+    xq.enable_swap = false;
+    groundtruth::GroundTruthBuilder builder(ctx->pipeline, xq);
+    auto gt = builder.Build();
+    EXPECT_TRUE(gt.ok()) << gt.status();
+    ctx->gt = std::move(gt).ValueOrDie();
+
+    analysis::QueryGraphAnalyzer analyzer(ctx->pipeline, &ctx->gt);
+    auto analyses = analyzer.AnalyzeAll();
+    EXPECT_TRUE(analyses.ok()) << analyses.status();
+    ctx->analyses = std::move(analyses).ValueOrDie();
+    return ctx;
+  }();
+  return *kContext;
+}
+
+TEST(EndToEndTest, GroundTruthImprovesEveryTopic) {
+  for (const auto& e : Context().gt.entries) {
+    EXPECT_GE(e.xq.quality, e.xq.baseline_quality - 1e-9)
+        << "topic " << e.topic_id;
+    EXPECT_GT(e.xq.quality, 0.5) << "topic " << e.topic_id;
+  }
+}
+
+TEST(EndToEndTest, SystemOrderingMatchesPaperNarrative) {
+  const auto& ctx = Context();
+  const groundtruth::Pipeline& p = *ctx.pipeline;
+  expansion::NoExpansion none(&p.kb(), &p.linker());
+  expansion::DirectLinkExpansion direct(&p.kb(), &p.linker());
+  expansion::CycleExpander cycle(&p.kb(), &p.linker());
+
+  auto none_eval = expansion::EvaluateExpander(none, p);
+  auto direct_eval = expansion::EvaluateExpander(direct, p);
+  auto cycle_eval = expansion::EvaluateExpander(cycle, p);
+  ASSERT_TRUE(none_eval.ok());
+  ASSERT_TRUE(direct_eval.ok());
+  ASSERT_TRUE(cycle_eval.ok());
+
+  // Structure-aware expansion beats both the unexpanded query and naive
+  // link expansion.
+  EXPECT_GT(cycle_eval->mean_o, none_eval->mean_o);
+  EXPECT_GT(cycle_eval->mean_o, direct_eval->mean_o);
+  // And does so with fewer features than naive link expansion.
+  EXPECT_LT(cycle_eval->mean_features, direct_eval->mean_features);
+}
+
+TEST(EndToEndTest, RedirectAliasExtensionDoesNotHurt) {
+  const auto& ctx = Context();
+  const groundtruth::Pipeline& p = *ctx.pipeline;
+  expansion::CycleExpanderOptions with_aliases;
+  with_aliases.include_redirect_aliases = true;
+  expansion::CycleExpander base(&p.kb(), &p.linker());
+  expansion::CycleExpander aliased(&p.kb(), &p.linker(), with_aliases);
+  auto base_eval = expansion::EvaluateExpander(base, p);
+  auto alias_eval = expansion::EvaluateExpander(aliased, p);
+  ASSERT_TRUE(base_eval.ok());
+  ASSERT_TRUE(alias_eval.ok());
+  EXPECT_GE(alias_eval->mean_o, base_eval->mean_o - 0.05);
+}
+
+TEST(EndToEndTest, AliasFeaturesAreRedirectsOfBaseFeatures) {
+  const auto& ctx = Context();
+  const groundtruth::Pipeline& p = *ctx.pipeline;
+  expansion::CycleExpanderOptions options;
+  options.include_redirect_aliases = true;
+  expansion::CycleExpander system(&p.kb(), &p.linker(), options);
+  size_t alias_count = 0;
+  for (size_t t = 0; t < p.num_topics(); ++t) {
+    auto expanded = system.Expand(p.topic(t).keywords);
+    ASSERT_TRUE(expanded.ok());
+    for (graph::NodeId f : expanded->feature_articles) {
+      if (!p.kb().IsRedirect(f)) continue;
+      ++alias_count;
+      // The alias' main article must itself be a selected feature.
+      graph::NodeId main = p.kb().ResolveRedirect(f);
+      EXPECT_NE(std::find(expanded->feature_articles.begin(),
+                          expanded->feature_articles.end(), main),
+                expanded->feature_articles.end());
+    }
+  }
+  EXPECT_GT(alias_count, 0u);  // the KB has plenty of redirects
+}
+
+TEST(EndToEndTest, Figure9TrendIsPositive) {
+  analysis::Fig9Report report = analysis::ComputeFig9(Context().analyses);
+  EXPECT_GT(report.num_cycles, 100u);
+  EXPECT_GT(report.trend.slope, 0.0);
+}
+
+TEST(EndToEndTest, Figure5TwoCyclesBeatThreeCycles) {
+  analysis::LengthSeries fig5 = analysis::ComputeFig5(Context().analyses);
+  ASSERT_EQ(fig5.values.size(), 4u);
+  // The robust part of the paper's Fig 5 shape: length 2 above length 3.
+  EXPECT_GT(fig5.values[0], fig5.values[1]);
+}
+
+TEST(EndToEndTest, QueryGraphsContainSatelliteComponents) {
+  // The foreign-mention planting must produce at least some disconnected
+  // query graphs, as the paper observes (Table 3 %size < 1).
+  size_t with_satellites = 0;
+  for (const auto& a : Context().analyses) {
+    if (a.component.num_components > 1) ++with_satellites;
+  }
+  EXPECT_GT(with_satellites, 0u);
+}
+
+TEST(EndToEndTest, GroundTruthEntriesCarryTrackIndex) {
+  const auto& ctx = Context();
+  for (size_t t = 0; t < ctx.gt.entries.size(); ++t) {
+    EXPECT_EQ(ctx.gt.entries[t].topic_index, t);
+    EXPECT_EQ(ctx.gt.entries[t].topic_id, ctx.pipeline->topic(t).id);
+  }
+}
+
+TEST(EndToEndTest, PartialGroundTruthAnalyzesAgainstRightQrels) {
+  // Regression test: analyzing a ground truth holding only topic 3 must
+  // evaluate contributions against topic 3's qrels, not topic 0's.
+  const auto& ctx = Context();
+  groundtruth::GroundTruthBuilder builder(ctx.pipeline);
+  auto entry = builder.BuildEntry(3);
+  ASSERT_TRUE(entry.ok());
+  double baseline = entry->xq.baseline_quality;
+  groundtruth::GroundTruth partial;
+  partial.entries.push_back(std::move(*entry));
+  analysis::QueryGraphAnalyzer analyzer(ctx.pipeline, &partial);
+  auto a = analyzer.Analyze(0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(a->baseline_quality, baseline, 1e-9);
+}
+
+TEST(EndToEndTest, KbSurvivesDumpRoundTripWithinPipeline) {
+  const auto& ctx = Context();
+  std::string dump = wiki::WriteDump(ctx.pipeline->kb());
+  auto kb2 = wiki::ParseDump(dump);
+  ASSERT_TRUE(kb2.ok()) << kb2.status();
+  EXPECT_EQ(kb2->num_articles(), ctx.pipeline->kb().num_articles());
+  EXPECT_EQ(kb2->graph().num_edges(),
+            ctx.pipeline->kb().graph().num_edges());
+}
+
+TEST(EndToEndTest, DeterministicAcrossPipelineBuilds) {
+  groundtruth::PipelineOptions options;
+  options.wiki.num_domains = 8;
+  options.track.num_topics = 3;
+  options.track.background_docs = 50;
+  auto p1 = groundtruth::Pipeline::Build(options);
+  auto p2 = groundtruth::Pipeline::Build(options);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  ASSERT_EQ((*p1)->track().documents.size(),
+            (*p2)->track().documents.size());
+  for (size_t i = 0; i < (*p1)->track().documents.size(); ++i) {
+    ASSERT_EQ((*p1)->track().documents[i].xml,
+              (*p2)->track().documents[i].xml);
+  }
+  groundtruth::GroundTruthBuilder b1(p1->get()), b2(p2->get());
+  auto e1 = b1.BuildEntry(0);
+  auto e2 = b2.BuildEntry(0);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e1->xq.selected, e2->xq.selected);
+}
+
+}  // namespace
+}  // namespace wqe

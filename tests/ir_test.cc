@@ -1,0 +1,322 @@
+/// \file ir_test.cc
+/// \brief Tests for the retrieval engine: store, index, query language,
+/// scoring and evaluation metrics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/document_store.h"
+#include "ir/eval.h"
+#include "ir/inverted_index.h"
+#include "ir/query.h"
+#include "ir/scorer.h"
+#include "ir/search_engine.h"
+
+namespace wqe::ir {
+namespace {
+
+// ----------------------------------------------------------- DocumentStore
+
+TEST(DocumentStoreTest, AddAndLookup) {
+  DocumentStore store;
+  auto id = store.Add("doc1.xml", "some text");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(store.Get(*id).name, "doc1.xml");
+  EXPECT_EQ(store.FindByName("doc1.xml"), *id);
+  EXPECT_EQ(store.FindByName("nope"), std::nullopt);
+  EXPECT_TRUE(store.Add("doc1.xml", "dup").status().IsAlreadyExists());
+  EXPECT_TRUE(store.Add("", "x").status().IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- InvertedIndex
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() : index_(&analyzer_) {
+    // doc0: "the gondola in venice"  → gondola(1) venic(3)
+    // doc1: "venice venice gondola"  → venic venic gondola
+    // doc2: "grand canal of venice"
+    EXPECT_TRUE(index_.Add(0, "the gondola in venice").ok());
+    EXPECT_TRUE(index_.Add(1, "venice venice gondola").ok());
+    EXPECT_TRUE(index_.Add(2, "grand canal of venice").ok());
+  }
+  text::Analyzer analyzer_;
+  InvertedIndex index_;
+};
+
+TEST_F(IndexTest, PostingsAndStats) {
+  const PostingsList* venice = index_.Find("venic");  // stemmed
+  ASSERT_NE(venice, nullptr);
+  EXPECT_EQ(venice->df(), 3u);
+  EXPECT_EQ(venice->collection_tf, 4u);
+  EXPECT_EQ(index_.num_docs(), 3u);
+  EXPECT_EQ(index_.Find("venice"), nullptr);  // unstemmed form absent
+  EXPECT_EQ(index_.Find("zzz"), nullptr);
+  EXPECT_EQ(index_.doc_length(1), 3u);
+  EXPECT_EQ(index_.total_tokens(), 2u + 3u + 3u);
+}
+
+TEST_F(IndexTest, RequiresIdOrder) {
+  EXPECT_TRUE(index_.Add(7, "skip ahead").IsInvalidArgument());
+}
+
+TEST_F(IndexTest, PhraseTfExactAdjacency) {
+  // "grand canal" appears once in doc2 only.
+  EXPECT_EQ(index_.PhraseTf({"grand", "canal"}, 2), 1u);
+  EXPECT_EQ(index_.PhraseTf({"grand", "canal"}, 0), 0u);
+  EXPECT_EQ(index_.PhraseTf({"canal", "grand"}, 2), 0u);  // order matters
+  EXPECT_EQ(index_.PhraseTf({"venic", "venic"}, 1), 1u);
+  EXPECT_EQ(index_.PhraseTf({}, 0), 0u);
+}
+
+TEST_F(IndexTest, PhrasePostingsAcrossDocs) {
+  auto postings = index_.PhrasePostings({"venic"});
+  EXPECT_EQ(postings.size(), 3u);
+  auto grand_canal = index_.PhrasePostings({"grand", "canal"});
+  ASSERT_EQ(grand_canal.size(), 1u);
+  EXPECT_EQ(grand_canal[0].doc, 2u);
+  EXPECT_TRUE(index_.PhrasePostings({"zzz", "venic"}).empty());
+}
+
+TEST(IndexStopwordPositionTest, PhraseMatchesAcrossStopwords) {
+  // Stopping compacts positions on both the document and the query side,
+  // so the title "bridge of sighs" matches documents containing it with or
+  // without the inner stopword — but not with an interposed content word.
+  SearchEngine engine;
+  ASSERT_TRUE(engine.AddDocument("d0", "the bridge of sighs in venice").ok());
+  ASSERT_TRUE(engine.AddDocument("d1", "bridge sighs venice").ok());
+  ASSERT_TRUE(
+      engine.AddDocument("d2", "bridge near sighs venice").ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  auto results = engine.SearchTitles({"bridge of sighs"}, 3);
+  ASSERT_TRUE(results.ok()) << results.status();
+  std::set<DocId> docs;
+  for (const ScoredDoc& sd : *results) docs.insert(sd.doc);
+  EXPECT_TRUE(docs.count(0));
+  EXPECT_TRUE(docs.count(1));
+  // d2 has "near" between the words: phrase tf 0, but its terms still make
+  // it a candidate — it must rank below the phrase matches.
+  EXPECT_NE(results->front().doc, 2u);
+  EXPECT_NE((*results)[1].doc, 2u);
+}
+
+// ------------------------------------------------------------ Query parser
+
+TEST(QueryParserTest, ParsesTermPhraseCombine) {
+  auto q = ParseQuery("#combine(venice #1(grand canal) gondola)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->kind, QueryNode::Kind::kCombine);
+  ASSERT_EQ(q->children.size(), 3u);
+  EXPECT_EQ(q->children[0].kind, QueryNode::Kind::kTerm);
+  EXPECT_EQ(q->children[0].term, "venice");
+  EXPECT_EQ(q->children[1].kind, QueryNode::Kind::kPhrase);
+  ASSERT_EQ(q->children[1].phrase.size(), 2u);
+  EXPECT_EQ(q->children[1].phrase[1], "canal");
+}
+
+TEST(QueryParserTest, BareTermsImplicitlyCombined) {
+  auto q = ParseQuery("graffiti street art");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, QueryNode::Kind::kCombine);
+  EXPECT_EQ(q->children.size(), 3u);
+}
+
+TEST(QueryParserTest, SingleTermStaysTerm) {
+  auto q = ParseQuery("venice");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, QueryNode::Kind::kTerm);
+}
+
+TEST(QueryParserTest, SingleWordPhraseCollapses) {
+  auto q = ParseQuery("#1(venice)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, QueryNode::Kind::kTerm);
+}
+
+TEST(QueryParserTest, NestedCombine) {
+  auto q = ParseQuery("#combine(#combine(a b) c)");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->children.size(), 2u);
+  EXPECT_EQ(q->children[0].kind, QueryNode::Kind::kCombine);
+}
+
+TEST(QueryParserTest, Lowercases) {
+  auto q = ParseQuery("#1(Grand CANAL)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->phrase[0], "grand");
+  EXPECT_EQ(q->phrase[1], "canal");
+}
+
+TEST(QueryParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("#combine()").ok());
+  EXPECT_FALSE(ParseQuery("#1()").ok());
+  EXPECT_FALSE(ParseQuery("#unknown(a)").ok());
+  EXPECT_FALSE(ParseQuery("#combine(a").ok());
+}
+
+TEST(QueryNodeTest, ToStringRoundTrip) {
+  auto q = ParseQuery("#combine(venice #1(grand canal))");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToString(), "#combine(venice #1(grand canal))");
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->ToString(), q->ToString());
+}
+
+TEST(QueryNodeTest, CombinePhrasesBuildsTitleQuery) {
+  QueryNode q = QueryNode::CombinePhrases({"Venice", "Grand Canal", ""});
+  ASSERT_EQ(q.kind, QueryNode::Kind::kCombine);
+  ASSERT_EQ(q.children.size(), 2u);
+  EXPECT_EQ(q.children[0].kind, QueryNode::Kind::kTerm);
+  EXPECT_EQ(q.children[1].kind, QueryNode::Kind::kPhrase);
+}
+
+// ----------------------------------------------------------------- Scoring
+
+class ScoringTest : public ::testing::Test {
+ protected:
+  ScoringTest() {
+    // Exact-phrase discrimination setup: doc0 has the phrase, doc1 has the
+    // words scattered, doc2 is unrelated.
+    EXPECT_TRUE(engine_.AddDocument("d0", "the grand canal at dusk").ok());
+    EXPECT_TRUE(
+        engine_.AddDocument("d1", "a canal and a grand palace").ok());
+    EXPECT_TRUE(engine_.AddDocument("d2", "mountain glacier summit").ok());
+    EXPECT_TRUE(engine_.Finalize().ok());
+  }
+  SearchEngine engine_;
+};
+
+TEST_F(ScoringTest, ExactPhraseBeatsScatteredWords) {
+  auto results = engine_.SearchText("#1(grand canal)", 3);
+  ASSERT_TRUE(results.ok());
+  ASSERT_GE(results->size(), 1u);
+  EXPECT_EQ(results->front().doc, 0u);
+  // d1 contains both words but not adjacent → no phrase match.
+  for (const ScoredDoc& sd : *results) {
+    EXPECT_NE(sd.doc, 2u);
+  }
+}
+
+TEST_F(ScoringTest, TermQueryRanksByTf) {
+  SearchEngine engine;
+  ASSERT_TRUE(engine.AddDocument("a", "canal canal canal").ok());
+  ASSERT_TRUE(engine.AddDocument("b", "canal boat boat").ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  auto results = engine.SearchText("canal", 2);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ(results->front().doc, 0u);
+  EXPECT_GT((*results)[0].score, (*results)[1].score);
+}
+
+TEST_F(ScoringTest, CombineAveragesAcrossLeaves) {
+  // Doc matching both leaves must outrank docs matching one.
+  SearchEngine engine;
+  ASSERT_TRUE(engine.AddDocument("both", "gondola venice").ok());
+  ASSERT_TRUE(engine.AddDocument("one", "gondola mountain").ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  auto results = engine.SearchText("#combine(gondola venice)", 2);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->front().doc, 0u);
+}
+
+TEST_F(ScoringTest, PureStopwordQueryFails) {
+  auto results = engine_.SearchText("#combine(the of)", 5);
+  EXPECT_TRUE(results.status().IsInvalidArgument());
+}
+
+TEST_F(ScoringTest, DeterministicTieBreakByDocId) {
+  SearchEngine engine;
+  ASSERT_TRUE(engine.AddDocument("x", "canal").ok());
+  ASSERT_TRUE(engine.AddDocument("y", "canal").ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  auto results = engine.SearchText("canal", 2);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_LT(results->front().doc, results->back().doc);
+}
+
+TEST_F(ScoringTest, TopKTruncates) {
+  auto results = engine_.SearchText("canal", 1);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+TEST(SearchEngineTest, LifecycleErrors) {
+  SearchEngine engine;
+  EXPECT_TRUE(engine.SearchText("x", 5).status().IsInvalidArgument());
+  EXPECT_TRUE(engine.Finalize().IsInvalidArgument());  // no docs
+  ASSERT_TRUE(engine.AddDocument("d", "text").ok());
+  ASSERT_TRUE(engine.Finalize().ok());
+  EXPECT_TRUE(engine.AddDocument("late", "x").status().IsInvalidArgument());
+  EXPECT_TRUE(engine.Finalize().IsInvalidArgument());  // double finalize
+}
+
+// -------------------------------------------------------------- Evaluation
+
+class EvalTest : public ::testing::Test {
+ protected:
+  // Ranked docs 0..9; relevant = {0, 2, 4, 100}.
+  EvalTest() {
+    for (DocId d = 0; d < 10; ++d) {
+      results_.push_back({d, 10.0 - d});
+    }
+    relevant_ = {0, 2, 4, 100};
+  }
+  std::vector<ScoredDoc> results_;
+  RelevantSet relevant_;
+};
+
+TEST_F(EvalTest, PrecisionAtR) {
+  EXPECT_DOUBLE_EQ(PrecisionAtR(results_, relevant_, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtR(results_, relevant_, 5), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtR(results_, relevant_, 10), 0.3);
+  // Missing ranks count against the denominator (paper definition).
+  EXPECT_DOUBLE_EQ(PrecisionAtR(results_, relevant_, 15), 3.0 / 15.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtR(results_, relevant_, 0), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtR({}, relevant_, 5), 0.0);
+}
+
+TEST_F(EvalTest, Equation1AveragesCutoffs) {
+  double expected =
+      (1.0 + 3.0 / 5.0 + 3.0 / 10.0 + 3.0 / 15.0) / 4.0;
+  EXPECT_DOUBLE_EQ(AverageTopRPrecision(results_, relevant_), expected);
+  EXPECT_DOUBLE_EQ(
+      AverageTopRPrecision(results_, relevant_, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(AverageTopRPrecision(results_, relevant_, {}), 0.0);
+}
+
+TEST_F(EvalTest, RecallAtR) {
+  EXPECT_DOUBLE_EQ(RecallAtR(results_, relevant_, 5), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(RecallAtR(results_, {}, 5), 0.0);
+}
+
+TEST_F(EvalTest, AveragePrecision) {
+  // Hits at ranks 1, 3, 5: AP = (1/1 + 2/3 + 3/5) / 4.
+  double expected = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 4.0;
+  EXPECT_NEAR(AveragePrecision(results_, relevant_), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(AveragePrecision(results_, {}), 0.0);
+}
+
+TEST_F(EvalTest, NdcgBounds) {
+  double ndcg = NdcgAtR(results_, relevant_, 10);
+  EXPECT_GT(ndcg, 0.0);
+  EXPECT_LE(ndcg, 1.0);
+  // Perfect ranking of a single relevant doc.
+  std::vector<ScoredDoc> perfect = {{5, 1.0}};
+  EXPECT_DOUBLE_EQ(NdcgAtR(perfect, {5}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtR(perfect, {}, 5), 0.0);
+}
+
+TEST(PaperCutoffsTest, MatchesPaper) {
+  const auto& r = PaperRankCutoffs();
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0], 1u);
+  EXPECT_EQ(r[3], 15u);
+}
+
+}  // namespace
+}  // namespace wqe::ir

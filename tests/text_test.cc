@@ -1,0 +1,216 @@
+/// \file text_test.cc
+/// \brief Tests for tokenizer, Porter stemmer, stopwords and the analyzer.
+
+#include <gtest/gtest.h>
+
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace wqe::text {
+namespace {
+
+// -------------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, BasicWordsLowercasedWithOffsets) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("Gondola in Venice");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "gondola");
+  EXPECT_EQ(tokens[0].begin, 0u);
+  EXPECT_EQ(tokens[0].end, 7u);
+  EXPECT_EQ(tokens[2].text, "venice");
+  EXPECT_EQ(tokens[2].begin, 11u);
+}
+
+TEST(TokenizerTest, PunctuationSplits) {
+  Tokenizer t;
+  auto tokens = t.TokenizeToStrings("field (Hamois, Belgium)!");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "field");
+  EXPECT_EQ(tokens[1], "hamois");
+  EXPECT_EQ(tokens[2], "belgium");
+}
+
+TEST(TokenizerTest, InnerHyphenAndApostropheKept) {
+  Tokenizer t;
+  auto tokens = t.TokenizeToStrings("bouches-du-rhone o'neill -leading");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "bouches-du-rhone");
+  EXPECT_EQ(tokens[1], "o'neill");
+  EXPECT_EQ(tokens[2], "leading");
+}
+
+TEST(TokenizerTest, InnerPunctDisabled) {
+  TokenizerOptions options;
+  options.keep_inner_punct = false;
+  Tokenizer t(options);
+  auto tokens = t.TokenizeToStrings("bouches-du-rhone");
+  ASSERT_EQ(tokens.size(), 3u);
+}
+
+TEST(TokenizerTest, NumbersKeptByDefaultDroppedOnRequest) {
+  Tokenizer keep;
+  EXPECT_EQ(keep.TokenizeToStrings("1712 establishments").size(), 2u);
+  TokenizerOptions options;
+  options.keep_numbers = false;
+  Tokenizer drop(options);
+  auto tokens = drop.TokenizeToStrings("1712 establishments");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "establishments");
+}
+
+TEST(TokenizerTest, Utf8BytesSurvive) {
+  Tokenizer t;
+  auto tokens = t.TokenizeToStrings("blühendes Feld");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "blühendes");
+}
+
+TEST(TokenizerTest, EmptyAndAllPunct) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("... !!! ???").empty());
+}
+
+// ----------------------------------------------------------- PorterStemmer
+
+struct StemCase {
+  const char* in;
+  const char* out;
+};
+
+class PorterStemmerTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerTest, MatchesReferenceVector) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem(GetParam().in), GetParam().out)
+      << "input: " << GetParam().in;
+}
+
+// Vectors from Porter's original paper and the standard voc/output list.
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceVectors, PorterStemmerTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerEdgeTest, ShortAndNonAlphaUnchanged) {
+  PorterStemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("at"), "at");
+  EXPECT_EQ(stemmer.Stem("be"), "be");
+  EXPECT_EQ(stemmer.Stem("1712"), "1712");
+  EXPECT_EQ(stemmer.Stem("bouches-du-rhone"), "bouches-du-rhone");
+  EXPECT_EQ(stemmer.Stem(""), "");
+}
+
+TEST(PorterStemmerEdgeTest, QueryAndDocConflate) {
+  PorterStemmer stemmer;
+  // Retrieval correctness depends on query/document conflation.
+  EXPECT_EQ(stemmer.Stem("gondolas"), stemmer.Stem("gondola"));
+  EXPECT_EQ(stemmer.Stem("bridges"), stemmer.Stem("bridge"));
+  EXPECT_EQ(stemmer.Stem("painting"), stemmer.Stem("paintings"));
+}
+
+// --------------------------------------------------------------- Stopwords
+
+TEST(StopwordsTest, DefaultContainsFunctionWords) {
+  const StopwordSet& sw = StopwordSet::Default();
+  EXPECT_TRUE(sw.Contains("the"));
+  EXPECT_TRUE(sw.Contains("of"));
+  EXPECT_TRUE(sw.Contains("in"));
+  EXPECT_FALSE(sw.Contains("venice"));
+  EXPECT_FALSE(sw.Contains("gondola"));
+  EXPECT_GT(sw.size(), 100u);
+}
+
+TEST(StopwordsTest, EmptySetContainsNothing) {
+  EXPECT_FALSE(StopwordSet::Empty().Contains("the"));
+  EXPECT_EQ(StopwordSet::Empty().size(), 0u);
+}
+
+// ---------------------------------------------------------------- Analyzer
+
+TEST(AnalyzerTest, FullPipelineStopsAndStems) {
+  Analyzer analyzer;
+  auto terms = analyzer.AnalyzeToStrings("the bridges of Venice");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "bridg");
+  EXPECT_EQ(terms[1], "venic");
+}
+
+TEST(AnalyzerTest, PositionsCompactedOverStopwords) {
+  // "bridge of sighs": "of" removed and positions compacted (INDRI-style
+  // stopping), so the kept terms are adjacent — exact-phrase titles with
+  // inner stopwords match verbatim document text.
+  Analyzer analyzer;
+  auto terms = analyzer.Analyze("bridge of sighs");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0].position, 0u);
+  EXPECT_EQ(terms[1].position, 1u);
+}
+
+TEST(AnalyzerTest, StemmingDisabled) {
+  AnalyzerOptions options;
+  options.stem = false;
+  Analyzer analyzer(options);
+  auto terms = analyzer.AnalyzeToStrings("bridges");
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0], "bridges");
+}
+
+TEST(AnalyzerTest, StopwordsDisabled) {
+  AnalyzerOptions options;
+  options.remove_stopwords = false;
+  Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.AnalyzeToStrings("the bridge").size(), 2u);
+}
+
+TEST(AnalyzerTest, SpansPointIntoSource) {
+  Analyzer analyzer;
+  std::string input = "grand canal";
+  auto terms = analyzer.Analyze(input);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(input.substr(terms[1].begin, terms[1].end - terms[1].begin),
+            "canal");
+}
+
+}  // namespace
+}  // namespace wqe::text
