@@ -5,99 +5,92 @@
 /// window (the paper's "around 30%" finding), the extra-edge density
 /// threshold (Fig 9), the length-2 boost (Fig 5), and the cycle-length
 /// budget (Table 4), measuring track-level retrieval quality for each
-/// variant.
+/// variant.  Every variant is one `api::ExpanderOverrides` set served
+/// through the engine's "cycle" registry entry — no compile-time wiring.
 
-#include <cstdio>
-
+#include "api/evaluation.h"
 #include "bench/bench_common.h"
 #include "common/macros.h"
-#include "common/string_util.h"
-#include "expansion/cycle_expander.h"
-#include "expansion/evaluation.h"
 
 using namespace wqe;
 
 namespace {
 
-void Evaluate(const groundtruth::Pipeline& p, const std::string& label,
-              const expansion::CycleExpanderOptions& options,
-              TablePrinter* table) {
-  expansion::CycleExpander system(&p.kb(), &p.linker(), options);
-  auto eval = expansion::EvaluateExpander(system, p);
+void Evaluate(const api::Engine& engine,
+              const std::vector<api::EvalTopic>& topics,
+              const std::string& label,
+              const api::ExpanderOverrides& overrides, TablePrinter* table) {
+  auto eval = api::EvaluateSystem(engine, "cycle", topics, overrides);
   WQE_CHECK_OK(eval.status());
-  table->AddRow({label, FormatDouble(eval->mean_precision[0], 3),
-                 FormatDouble(eval->mean_precision[1], 3),
-                 FormatDouble(eval->mean_precision[2], 3),
-                 FormatDouble(eval->mean_precision[3], 3),
-                 FormatDouble(eval->mean_o, 3),
-                 FormatDouble(eval->mean_features, 1)});
+  bench::AddEvaluationRow(*eval, label, table);
 }
 
 }  // namespace
 
 int main() {
-  const groundtruth::Pipeline& p = *bench::GetBenchContext().pipeline;
+  const api::Testbed& bed = bench::GetBenchTestbed();
+  const api::Engine& engine = bed.engine();
+  const std::vector<api::EvalTopic> topics = bed.EvalTopics();
 
   TablePrinter table("E11 — cycle-expander filter ablation");
   table.SetHeader({"variant", "P@1", "P@5", "P@10", "P@15", "O (Eq. 1)",
                    "avg features"});
 
-  expansion::CycleExpanderOptions defaults;
-  Evaluate(p, "defaults", defaults, &table);
+  Evaluate(engine, topics, "defaults", {}, &table);
 
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.min_category_ratio = 0.0;
     o.max_category_ratio = 1.0;
-    Evaluate(p, "no category-ratio filter", o, &table);
+    Evaluate(engine, topics, "no category-ratio filter", o, &table);
   }
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.min_density = 0.0;
-    Evaluate(p, "no density filter", o, &table);
+    Evaluate(engine, topics, "no density filter", o, &table);
   }
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.min_density = 0.0;
     o.min_category_ratio = 0.0;
     o.max_category_ratio = 1.0;
-    Evaluate(p, "no structural filters", o, &table);
+    Evaluate(engine, topics, "no structural filters", o, &table);
   }
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.two_cycle_weight = 1.0;
-    Evaluate(p, "no length-2 boost", o, &table);
+    Evaluate(engine, topics, "no length-2 boost", o, &table);
   }
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.max_cycle_length = 3;
-    Evaluate(p, "lengths 2-3 only", o, &table);
+    Evaluate(engine, topics, "lengths 2-3 only", o, &table);
   }
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.min_cycle_length = 4;
-    Evaluate(p, "lengths 4-5 only", o, &table);
+    Evaluate(engine, topics, "lengths 4-5 only", o, &table);
   }
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.length_decay = 1.0;
     o.sqrt_count_damping = false;
-    Evaluate(p, "raw cycle counts (no damping)", o, &table);
+    Evaluate(engine, topics, "raw cycle counts (no damping)", o, &table);
   }
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.max_features = 4;
-    Evaluate(p, "max 4 features", o, &table);
+    Evaluate(engine, topics, "max 4 features", o, &table);
   }
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.max_features = 16;
-    Evaluate(p, "max 16 features", o, &table);
+    Evaluate(engine, topics, "max 16 features", o, &table);
   }
   {
-    auto o = defaults;
+    api::ExpanderOverrides o;
     o.include_redirect_aliases = true;
-    Evaluate(p, "with redirect aliases (par. 4)", o, &table);
+    Evaluate(engine, topics, "with redirect aliases (par. 4)", o, &table);
   }
   table.Print();
   return 0;

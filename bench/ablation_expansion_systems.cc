@@ -5,50 +5,50 @@
 ///
 /// The paper's claim to verify in shape: structure-aware expansion from
 /// dense, category-bearing cycles beats both the unexpanded query and
-/// flat link-based expansion.
+/// flat link-based expansion.  All systems are served by name through the
+/// `api::Engine` registry.
 
 #include <cstdio>
 
+#include "api/evaluation.h"
 #include "bench/bench_common.h"
 #include "common/macros.h"
-#include "common/string_util.h"
-#include "expansion/baselines.h"
-#include "expansion/cycle_expander.h"
-#include "expansion/evaluation.h"
 
 using namespace wqe;
 
-int main() {
-  const bench::BenchContext& ctx = bench::GetBenchContext();
-  const groundtruth::Pipeline& p = *ctx.pipeline;
+namespace {
 
-  expansion::NoExpansion none(&p.kb(), &p.linker());
-  expansion::DirectLinkExpansion direct(&p.kb(), &p.linker());
-  expansion::DirectLinkOptions mutual_options;
-  mutual_options.prioritize_mutual = true;
-  expansion::DirectLinkExpansion direct_mutual(&p.kb(), &p.linker(),
-                                               mutual_options);
-  expansion::CommunityExpansion community(&p.kb(), &p.linker());
-  expansion::CycleExpander cycle(&p.kb(), &p.linker());
+void AddSystemRow(const api::Engine& engine,
+                  const std::vector<api::EvalTopic>& topics,
+                  const std::string& name,
+                  const api::ExpanderOverrides& overrides,
+                  const std::string& label, TablePrinter* table) {
+  auto eval = api::EvaluateSystem(engine, name, topics, overrides);
+  WQE_CHECK_OK(eval.status());
+  bench::AddEvaluationRow(*eval, label, table);
+}
+
+}  // namespace
+
+int main() {
+  const api::Testbed& bed = bench::GetBenchTestbed();
+  const api::Engine& engine = bed.engine();
+  const std::vector<api::EvalTopic> topics = bed.EvalTopics();
 
   TablePrinter table("E10 — expansion systems on the full track");
   table.SetHeader({"system", "P@1", "P@5", "P@10", "P@15", "O (Eq. 1)",
                    "avg features"});
-  for (const expansion::Expander* system :
-       std::initializer_list<const expansion::Expander*>{
-           &none, &direct, &direct_mutual, &community, &cycle}) {
-    auto eval = expansion::EvaluateExpander(*system, p);
-    WQE_CHECK_OK(eval.status());
-    table.AddRow({eval->name, FormatDouble(eval->mean_precision[0], 3),
-                  FormatDouble(eval->mean_precision[1], 3),
-                  FormatDouble(eval->mean_precision[2], 3),
-                  FormatDouble(eval->mean_precision[3], 3),
-                  FormatDouble(eval->mean_o, 3),
-                  FormatDouble(eval->mean_features, 1)});
+  for (const std::string& name : engine.registry().Names()) {
+    AddSystemRow(engine, topics, name, {}, "", &table);
   }
+  api::ExpanderOverrides mutual;
+  mutual.prioritize_mutual = true;
+  AddSystemRow(engine, topics, "direct-link", mutual, "direct-link+mutual",
+               &table);
   table.Print();
 
   // Oracle reference: the ground truth's X(q).
+  const bench::BenchContext& ctx = bench::GetBenchContext();
   double oracle = 0;
   for (const auto& e : ctx.gt.entries) oracle += e.xq.quality;
   std::printf("\noracle O (ground-truth X(q)): %.3f\n",

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 
 namespace wqe::bench {
 
@@ -26,6 +27,33 @@ groundtruth::PipelineOptions BenchPipelineOptions() {
   options.track.num_topics = EnvOr("WQE_BENCH_TOPICS", 50);
   options.track.seed = options.wiki.seed + 7;
   return options;
+}
+
+api::TestbedOptions BenchTestbedOptions() {
+  return api::TestbedOptions::FromPipelineOptions(BenchPipelineOptions());
+}
+
+void AddEvaluationRow(const api::SystemEvaluation& eval,
+                      const std::string& label, TablePrinter* table) {
+  table->AddRow({label.empty() ? eval.name : label,
+                 FormatDouble(eval.mean_precision[0], 3),
+                 FormatDouble(eval.mean_precision[1], 3),
+                 FormatDouble(eval.mean_precision[2], 3),
+                 FormatDouble(eval.mean_precision[3], 3),
+                 FormatDouble(eval.mean_o, 3),
+                 FormatDouble(eval.mean_features, 1)});
+}
+
+const api::Testbed& GetBenchTestbed() {
+  static const api::Testbed* kTestbed = [] {
+    Stopwatch watch;
+    auto bed = api::Testbed::Build(BenchTestbedOptions());
+    WQE_CHECK_OK(bed.status());
+    WQE_LOG(Info) << "bench testbed: engine built in "
+                  << watch.ElapsedSeconds() << "s";
+    return bed->release();
+  }();
+  return *kTestbed;
 }
 
 const BenchContext& GetBenchContext() {

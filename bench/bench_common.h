@@ -16,6 +16,7 @@
 
 #include "analysis/paper_report.h"
 #include "analysis/query_graph_analysis.h"
+#include "api/testbed.h"
 #include "common/table_printer.h"
 #include "groundtruth/ground_truth.h"
 #include "groundtruth/pipeline.h"
@@ -36,5 +37,20 @@ const BenchContext& GetBenchContext();
 /// \brief The pipeline options the context was built with (after env
 /// overrides); exposed so perf benches can build scaled variants.
 groundtruth::PipelineOptions BenchPipelineOptions();
+
+/// \brief The same experiment as an `api::Testbed` (engine + evaluation
+/// topics), built lazily with the same seeds/sizes as `GetBenchContext` —
+/// the generators are deterministic, so the two views hold identical
+/// content.  Expansion-system benches serve through this facade.
+const api::Testbed& GetBenchTestbed();
+
+/// \brief The testbed options matching `BenchPipelineOptions()`.
+api::TestbedOptions BenchTestbedOptions();
+
+/// \brief Appends a system/variant row in the shared E10/E11 table format
+/// (P@1/5/10/15, O, avg features).  Empty `label` uses the evaluation's
+/// system name.
+void AddEvaluationRow(const api::SystemEvaluation& eval,
+                      const std::string& label, TablePrinter* table);
 
 }  // namespace wqe::bench

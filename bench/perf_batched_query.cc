@@ -1,0 +1,96 @@
+/// \file perf_batched_query.cc
+/// \brief E12 — batched serving through the `api::Engine` facade.
+///
+/// Serves the full 50-topic track twice: once as 50 sequential `Query`
+/// calls and once as a single `QueryBatch`.  Verifies (hard asserts, not
+/// just reporting) that
+///
+///   1. the rankings are identical document-for-document, and
+///   2. the batch constructs the expansion strategy once, while the
+///      sequential path pays that setup per call (the engine's
+///      `expanders_constructed` counter).
+///
+/// Then reports the wall-clock for both paths.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+using namespace wqe;
+
+namespace {
+
+std::vector<api::QueryRequest> TrackRequests(const api::Testbed& bed) {
+  std::vector<api::QueryRequest> requests;
+  requests.reserve(bed.num_topics());
+  for (size_t t = 0; t < bed.num_topics(); ++t) {
+    api::QueryRequest request;
+    request.keywords = bed.topic(t).keywords;
+    request.expander = "cycle";
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace
+
+int main() {
+  const api::Testbed& bed = bench::GetBenchTestbed();
+  const api::Engine& engine = bed.engine();
+  const std::vector<api::QueryRequest> requests = TrackRequests(bed);
+
+  // Sequential: one Query per topic.
+  size_t constructed_before = engine.stats().expanders_constructed;
+  Stopwatch watch;
+  std::vector<api::QueryResponse> sequential;
+  sequential.reserve(requests.size());
+  for (const api::QueryRequest& request : requests) {
+    auto response = engine.Query(request);
+    WQE_CHECK_OK(response.status());
+    sequential.push_back(std::move(*response));
+  }
+  double sequential_ms = watch.ElapsedMillis();
+  size_t sequential_constructed =
+      engine.stats().expanders_constructed - constructed_before;
+
+  // Batched: one QueryBatch over the whole track.
+  constructed_before = engine.stats().expanders_constructed;
+  watch.Reset();
+  auto batch = engine.QueryBatch(requests);
+  WQE_CHECK_OK(batch.status());
+  double batch_ms = watch.ElapsedMillis();
+  size_t batch_constructed =
+      engine.stats().expanders_constructed - constructed_before;
+
+  // Hard correctness checks: identical rankings, amortized setup.
+  WQE_CHECK(batch->size() == sequential.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    WQE_CHECK((*batch)[i].docs == sequential[i].docs);
+    WQE_CHECK((*batch)[i].expansion.titles == sequential[i].expansion.titles);
+  }
+  WQE_CHECK(sequential_constructed == requests.size());
+  WQE_CHECK(batch_constructed == 1);
+
+  TablePrinter table("E12 — batched vs sequential query serving");
+  table.SetHeader({"path", "queries", "expanders built", "total ms",
+                   "ms/query"});
+  table.AddRow({"sequential Query", std::to_string(requests.size()),
+                std::to_string(sequential_constructed),
+                FormatDouble(sequential_ms, 1),
+                FormatDouble(sequential_ms /
+                                 static_cast<double>(requests.size()),
+                             2)});
+  table.AddRow({"QueryBatch", std::to_string(requests.size()),
+                std::to_string(batch_constructed), FormatDouble(batch_ms, 1),
+                FormatDouble(batch_ms / static_cast<double>(requests.size()),
+                             2)});
+  table.Print();
+  std::printf("\nrankings identical across %zu topics; batch amortizes "
+              "strategy setup %zux\n",
+              sequential.size(), sequential_constructed);
+  return 0;
+}

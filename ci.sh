@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# CI entry point: tier-1 verify with warnings-as-errors on the library.
+# Mirrors .github/workflows/ci.yml so the same check runs locally.
+set -eux
+
+cmake -B build -S . -DWQE_WERROR=ON
+cmake --build build -j
+cd build && ctest --output-on-failure -j

@@ -4,43 +4,36 @@
 /// Recreates the paper's motivating scenario — a user searches an image
 /// collection with short keyword queries whose vocabulary does not match
 /// the relevant images' metadata.  Runs every topic of a generated
-/// ImageCLEF-style track through four expansion systems and reports
-/// per-system retrieval quality, then shows one topic in detail.
+/// ImageCLEF-style track through every registered expansion strategy of
+/// an `api::Engine` and reports per-system retrieval quality, then shows
+/// one topic in detail.
 
-#include <cstdio>
 #include <iostream>
 
+#include "api/evaluation.h"
+#include "api/testbed.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "expansion/baselines.h"
-#include "expansion/cycle_expander.h"
-#include "expansion/evaluation.h"
-#include "groundtruth/pipeline.h"
 #include "ir/eval.h"
 
 using namespace wqe;
 
 int main() {
-  groundtruth::PipelineOptions options;
+  api::TestbedOptions options;
   options.wiki.num_domains = 24;
   options.track.num_topics = 12;
   options.track.background_docs = 400;
-  auto pipeline_result = groundtruth::Pipeline::Build(options);
-  WQE_CHECK_OK(pipeline_result.status());
-  const groundtruth::Pipeline& p = **pipeline_result;
-
-  expansion::NoExpansion none(&p.kb(), &p.linker());
-  expansion::DirectLinkExpansion direct(&p.kb(), &p.linker());
-  expansion::CommunityExpansion community(&p.kb(), &p.linker());
-  expansion::CycleExpander cycle(&p.kb(), &p.linker());
+  auto bed_result = api::Testbed::Build(options);
+  WQE_CHECK_OK(bed_result.status());
+  api::Testbed& bed = **bed_result;
+  const api::Engine& engine = bed.engine();
+  const std::vector<api::EvalTopic> topics = bed.EvalTopics();
 
   TablePrinter table("image retrieval quality by expansion system");
   table.SetHeader({"system", "P@1", "P@10", "O (Eq. 1)"});
-  for (const expansion::Expander* system :
-       std::initializer_list<const expansion::Expander*>{
-           &none, &direct, &community, &cycle}) {
-    auto eval = expansion::EvaluateExpander(*system, p);
+  for (const std::string& name : engine.registry().Names()) {
+    auto eval = api::EvaluateSystem(engine, name, topics);
     WQE_CHECK_OK(eval.status());
     table.AddRow({eval->name, FormatDouble(eval->mean_precision[0], 3),
                   FormatDouble(eval->mean_precision[2], 3),
@@ -48,24 +41,27 @@ int main() {
   }
   table.Print();
 
-  // One topic in detail.
-  const clef::Topic& topic = p.topic(0);
+  // One topic in detail, served end-to-end through the facade.
+  const clef::Topic& topic = bed.topic(0);
   std::cout << "\n--- topic " << topic.id << ": \"" << topic.keywords
             << "\" ---\n";
-  auto expanded = cycle.Expand(topic.keywords);
-  WQE_CHECK_OK(expanded.status());
+  api::QueryRequest request;
+  request.keywords = topic.keywords;
+  request.expander = "cycle";
+  request.top_k = 10;
+  auto response = engine.Query(request);
+  WQE_CHECK_OK(response.status());
   std::cout << "expansion features:";
-  for (graph::NodeId f : expanded->feature_articles) {
-    std::cout << " [" << p.kb().display_title(f) << "]";
+  for (graph::NodeId f : response->expansion.feature_articles) {
+    std::cout << " [" << engine.kb().display_title(f) << "]";
   }
-  std::cout << "\nINDRI query: " << expanded->query.ToString() << "\n";
+  std::cout << "\nINDRI query: " << response->expansion.query.ToString()
+            << "\n";
 
-  auto results = p.engine().Search(expanded->query, 10);
-  WQE_CHECK_OK(results.status());
   std::cout << "\ntop-10 images:\n";
-  for (const ir::ScoredDoc& sd : *results) {
-    bool relevant = p.relevant(0).count(sd.doc) > 0;
-    const ir::Document& doc = p.engine().store().Get(sd.doc);
+  for (const ir::ScoredDoc& sd : response->docs) {
+    bool relevant = bed.relevant(0).count(sd.doc) > 0;
+    const ir::Document& doc = engine.search_engine().store().Get(sd.doc);
     std::cout << (relevant ? "  [relevant]  " : "  [        ]  ") << doc.name
               << "  " << doc.text.substr(0, 60) << "...\n";
   }

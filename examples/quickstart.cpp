@@ -1,64 +1,68 @@
 /// \file quickstart.cpp
-/// \brief Minimal tour of the public API.
+/// \brief Minimal tour of the public API: build, index, expand, query.
 ///
-/// Builds a small synthetic Wikipedia + ImageCLEF-style track, runs one
-/// query through the unexpanded engine and through the cycle-based
-/// expander, and prints what changed.  Start here.
+/// Builds an `api::Engine` over a small synthetic Wikipedia + ImageCLEF
+/// style track (via `api::Testbed`), then serves one topic through two
+/// registry strategies — the unexpanded baseline and the paper's
+/// dense-cycle expansion — and prints what changed.  Start here.
 
 #include <iostream>
 
+#include "api/testbed.h"
 #include "common/macros.h"
-#include "expansion/baselines.h"
-#include "expansion/cycle_expander.h"
-#include "groundtruth/pipeline.h"
 #include "ir/eval.h"
 
 using namespace wqe;
 
 int main() {
-  // 1. Build the experiment context: a synthetic Wikipedia-shaped
-  //    knowledge base, a generated image-retrieval track, and a retrieval
-  //    engine indexed over the extracted metadata text.
-  groundtruth::PipelineOptions options;
+  // 1. Build the serving stack: a synthetic Wikipedia-shaped knowledge
+  //    base, a generated image-retrieval track, and an Engine owning the
+  //    KB, the entity linker, the retrieval index and the expander
+  //    registry.  (To serve your own corpus, call api::Engine::Build with
+  //    a KnowledgeBase and AddDocument/FinalizeIndex directly.)
+  api::TestbedOptions options;
   options.wiki.num_domains = 16;
   options.track.num_topics = 8;
   options.track.background_docs = 200;
-  auto pipeline_result = groundtruth::Pipeline::Build(options);
-  WQE_CHECK_OK(pipeline_result.status());
-  const groundtruth::Pipeline& pipeline = **pipeline_result;
+  auto bed_result = api::Testbed::Build(options);
+  WQE_CHECK_OK(bed_result.status());
+  api::Testbed& bed = **bed_result;
+  const api::Engine& engine = bed.engine();
 
-  std::cout << "Knowledge base: " << pipeline.kb().num_articles()
-            << " articles, " << pipeline.kb().num_categories()
-            << " categories, " << pipeline.kb().num_redirects()
+  std::cout << "Knowledge base: " << engine.kb().num_articles()
+            << " articles, " << engine.kb().num_categories()
+            << " categories, " << engine.kb().num_redirects()
             << " redirects\n";
-  std::cout << "Collection: " << pipeline.track().documents.size()
-            << " image-metadata documents, " << pipeline.num_topics()
-            << " topics\n\n";
+  std::cout << "Collection: " << engine.search_engine().store().size()
+            << " image-metadata documents, " << bed.num_topics()
+            << " topics\n";
+  std::cout << "Strategies:";
+  for (const std::string& name : engine.registry().Names()) {
+    std::cout << " " << name;
+  }
+  std::cout << "\n\n";
 
-  // 2. Take the first topic and run it unexpanded vs cycle-expanded.
-  const clef::Topic& topic = pipeline.topic(0);
+  // 2. Take the first topic and serve it unexpanded vs cycle-expanded.
+  const clef::Topic& topic = bed.topic(0);
   std::cout << "Topic " << topic.id << ": \"" << topic.keywords << "\"\n";
 
-  expansion::NoExpansion baseline(&pipeline.kb(), &pipeline.linker());
-  expansion::CycleExpander expander(&pipeline.kb(), &pipeline.linker());
+  for (const char* strategy : {"no-expansion", "cycle"}) {
+    api::QueryRequest request;
+    request.keywords = topic.keywords;
+    request.expander = strategy;
+    auto response = engine.Query(request);
+    WQE_CHECK_OK(response.status());
+    double o = ir::AverageTopRPrecision(response->docs, bed.relevant(0));
+    double p10 = ir::PrecisionAtR(response->docs, bed.relevant(0), 10);
 
-  for (const expansion::Expander* system :
-       {static_cast<const expansion::Expander*>(&baseline),
-        static_cast<const expansion::Expander*>(&expander)}) {
-    auto expanded = system->Expand(topic.keywords);
-    WQE_CHECK_OK(expanded.status());
-    auto results = pipeline.engine().Search(expanded->query, 15);
-    WQE_CHECK_OK(results.status());
-    double o = ir::AverageTopRPrecision(*results, pipeline.relevant(0));
-    double p10 = ir::PrecisionAtR(*results, pipeline.relevant(0), 10);
-
-    std::cout << "\n[" << system->name() << "]\n";
+    std::cout << "\n[" << response->expansion.expander << "]\n";
     std::cout << "  features:";
-    if (expanded->feature_articles.empty()) std::cout << " (none)";
-    for (graph::NodeId f : expanded->feature_articles) {
-      std::cout << " \"" << pipeline.kb().display_title(f) << "\"";
+    if (response->expansion.feature_articles.empty()) std::cout << " (none)";
+    for (graph::NodeId f : response->expansion.feature_articles) {
+      std::cout << " \"" << engine.kb().display_title(f) << "\"";
     }
-    std::cout << "\n  O(A,D) = " << o << ", P@10 = " << p10 << "\n";
+    std::cout << "\n  O(A,D) = " << o << ", P@10 = " << p10 << "  ("
+              << response->total_ms << " ms)\n";
   }
   return 0;
 }

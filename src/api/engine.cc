@@ -1,0 +1,169 @@
+#include "api/engine.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace wqe::api {
+
+namespace {
+
+/// Cache key for one (strategy, overrides) configuration within a batch.
+std::string ConfigKey(std::string_view resolved_name,
+                      const ExpanderOverrides& overrides) {
+  return std::string(resolved_name) + overrides.ToKey();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Engine>> Engine::Build(wiki::KnowledgeBase kb,
+                                              EngineOptions options) {
+  if (options.default_top_k == 0) {
+    return Status::InvalidArgument("default_top_k must be > 0");
+  }
+  std::unique_ptr<Engine> engine(new Engine());
+  engine->options_ = std::move(options);
+  engine->kb_ = std::move(kb);
+  engine->linker_ = std::make_unique<linking::EntityLinker>(
+      &engine->kb_, engine->options_.linker);
+  engine->search_ =
+      std::make_unique<ir::SearchEngine>(engine->options_.search);
+  engine->registry_ =
+      ExpanderRegistry::WithBuiltins(engine->options_.strategies);
+  if (!engine->registry_.Contains(engine->options_.default_expander)) {
+    return Status::InvalidArgument("default expander '",
+                                   engine->options_.default_expander,
+                                   "' is not registered");
+  }
+  return engine;
+}
+
+Result<ir::DocId> Engine::AddDocument(std::string_view name,
+                                      std::string_view text) {
+  return search_->AddDocument(name, text);
+}
+
+Status Engine::FinalizeIndex() { return search_->Finalize(); }
+
+Result<Engine::ResolvedExpander> Engine::ResolveExpander(
+    std::string_view name, const ExpanderOverrides& overrides,
+    std::map<std::string, std::unique_ptr<expansion::Expander>>* cache)
+    const {
+  std::string resolved =
+      registry_.Resolve(name.empty() ? options_.default_expander : name);
+  std::string key = ConfigKey(resolved, overrides);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    WQE_ASSIGN_OR_RETURN(std::unique_ptr<expansion::Expander> built,
+                         registry_.Create(resolved, kb_, *linker_, overrides));
+    ++stats_.expanders_constructed;
+    it = cache->emplace(std::move(key), std::move(built)).first;
+  }
+  return ResolvedExpander{it->second.get(), std::move(resolved)};
+}
+
+Result<ExpandResponse> Engine::ExpandWith(const expansion::Expander& expander,
+                                          std::string_view resolved_name,
+                                          std::string_view keywords) const {
+  Stopwatch watch;
+  WQE_ASSIGN_OR_RETURN(expansion::ExpandedQuery expanded,
+                       expander.Expand(keywords));
+  ExpandResponse response;
+  response.expander = std::string(resolved_name);
+  response.query_articles = std::move(expanded.query_articles);
+  response.feature_articles = std::move(expanded.feature_articles);
+  response.titles = std::move(expanded.titles);
+  response.query = std::move(expanded.query);
+  response.expand_ms = watch.ElapsedMillis();
+  ++stats_.expand_calls;
+  return response;
+}
+
+Result<QueryResponse> Engine::QueryWith(const expansion::Expander& expander,
+                                        std::string_view resolved_name,
+                                        const QueryRequest& request) const {
+  if (!search_->finalized()) {
+    return Status::InvalidArgument(
+        "Query before FinalizeIndex(): the corpus is not indexed yet");
+  }
+  Stopwatch total;
+  QueryResponse response;
+  WQE_ASSIGN_OR_RETURN(
+      response.expansion,
+      ExpandWith(expander, resolved_name, request.keywords));
+  size_t k = request.top_k == 0 ? options_.default_top_k : request.top_k;
+  Stopwatch search_watch;
+  WQE_ASSIGN_OR_RETURN(response.docs,
+                       search_->Search(response.expansion.query, k));
+  ++stats_.searches;
+  response.search_ms = search_watch.ElapsedMillis();
+  response.total_ms = total.ElapsedMillis();
+  return response;
+}
+
+Result<ExpandResponse> Engine::Expand(const ExpandRequest& request) const {
+  std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
+  WQE_ASSIGN_OR_RETURN(
+      ResolvedExpander resolved,
+      ResolveExpander(request.expander, request.overrides, &cache));
+  return ExpandWith(*resolved.expander, resolved.name, request.keywords);
+}
+
+Result<QueryResponse> Engine::Query(const QueryRequest& request) const {
+  std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
+  WQE_ASSIGN_OR_RETURN(
+      ResolvedExpander resolved,
+      ResolveExpander(request.expander, request.overrides, &cache));
+  return QueryWith(*resolved.expander, resolved.name, request);
+}
+
+Result<std::vector<ExpandResponse>> Engine::ExpandBatch(
+    const std::vector<ExpandRequest>& requests) const {
+  ++stats_.batches;
+  std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
+  std::vector<ExpandResponse> responses;
+  responses.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto resolved =
+        ResolveExpander(requests[i].expander, requests[i].overrides, &cache);
+    if (!resolved.ok()) {
+      return resolved.status().WithContext("ExpandBatch request #" +
+                                           std::to_string(i));
+    }
+    auto response = ExpandWith(*resolved->expander, resolved->name,
+                               requests[i].keywords);
+    if (!response.ok()) {
+      return response.status().WithContext("ExpandBatch request #" +
+                                           std::to_string(i));
+    }
+    responses.push_back(std::move(*response));
+  }
+  return responses;
+}
+
+Result<std::vector<QueryResponse>> Engine::QueryBatch(
+    const std::vector<QueryRequest>& requests) const {
+  ++stats_.batches;
+  std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
+  std::vector<QueryResponse> responses;
+  responses.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto resolved =
+        ResolveExpander(requests[i].expander, requests[i].overrides, &cache);
+    if (!resolved.ok()) {
+      return resolved.status().WithContext("QueryBatch request #" +
+                                           std::to_string(i));
+    }
+    auto response =
+        QueryWith(*resolved->expander, resolved->name, requests[i]);
+    if (!response.ok()) {
+      return response.status().WithContext("QueryBatch request #" +
+                                           std::to_string(i));
+    }
+    responses.push_back(std::move(*response));
+  }
+  return responses;
+}
+
+}  // namespace wqe::api

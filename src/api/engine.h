@@ -1,0 +1,173 @@
+#pragma once
+
+/// \file engine.h
+/// \brief `api::Engine`: the single serving-style entry point.
+///
+/// §4 of the paper proposes embedding dense-cycle expansion in "real query
+/// expansion systems".  The Engine is that system boundary: it owns the
+/// knowledge base, the entity linker, the retrieval engine and a pluggable
+/// `ExpanderRegistry`, and exposes a request/response API —
+///
+///   - `Expand(request)`   keywords → expansion features + INDRI query,
+///   - `Query(request)`    expand + retrieve in one call,
+///   - `ExpandBatch` / `QueryBatch`   batched variants that amortize
+///     per-strategy setup (expander construction and validation) across
+///     requests,
+///
+/// all returning `Result<T>`.  Strategy selection is by registry name with
+/// per-call `ExpanderOverrides` — callers never instantiate concrete
+/// expander classes.  Benches, examples and tests go through this facade
+/// (see `api::Testbed` for the synthetic-experiment builder).
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/expander_registry.h"
+#include "common/result.h"
+#include "ir/search_engine.h"
+#include "linking/entity_linker.h"
+#include "wiki/knowledge_base.h"
+
+namespace wqe::api {
+
+/// \brief Facade configuration.  The knowledge base itself is passed to
+/// `Engine::Build` (it is data, not an option).
+struct EngineOptions {
+  ir::SearchEngineOptions search;
+  linking::EntityLinkerOptions linker;
+  /// Base options of the built-in strategies; per-call overrides layer on
+  /// top of these.
+  StrategyDefaults strategies;
+  /// Strategy used when a request names none.
+  std::string default_expander = "cycle";
+  /// Result count when a query request asks for 0.
+  size_t default_top_k = 15;
+};
+
+/// \brief One expansion request.
+struct ExpandRequest {
+  std::string keywords;
+  /// Registry name ("cycle", "direct-link", ...); empty → the engine's
+  /// default strategy.
+  std::string expander;
+  ExpanderOverrides overrides;
+};
+
+/// \brief One end-to-end query request (expand + retrieve).
+struct QueryRequest {
+  std::string keywords;
+  std::string expander;  ///< as in ExpandRequest
+  ExpanderOverrides overrides;
+  size_t top_k = 0;  ///< 0 → EngineOptions::default_top_k
+};
+
+/// \brief Expansion outcome.
+struct ExpandResponse {
+  std::string expander;  ///< resolved canonical strategy name
+  std::vector<graph::NodeId> query_articles;    ///< L(k)
+  std::vector<graph::NodeId> feature_articles;  ///< selected features
+  std::vector<std::string> titles;              ///< issued phrase titles
+  ir::QueryNode query;                          ///< #combine of phrases
+  double expand_ms = 0.0;
+};
+
+/// \brief Query outcome: the expansion plus the ranked documents.
+struct QueryResponse {
+  ExpandResponse expansion;
+  std::vector<ir::ScoredDoc> docs;
+  double search_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+/// \brief Cumulative instrumentation counters (updated on every call;
+/// benches and tests assert batch amortization through these).  Atomic so
+/// the const serving calls stay safe under concurrent use.
+struct EngineStats {
+  std::atomic<size_t> expanders_constructed{0};  ///< factory invocations
+  std::atomic<size_t> expand_calls{0};  ///< single expansions served
+  std::atomic<size_t> searches{0};      ///< retrieval invocations
+  std::atomic<size_t> batches{0};       ///< ExpandBatch/QueryBatch calls
+};
+
+/// \brief The facade.  Immutable topology after `Build` (documents may be
+/// added until `FinalizeIndex`); all serving calls are const.
+class Engine {
+ public:
+  /// \brief Takes ownership of `kb`, builds the linker, the retrieval
+  /// engine and the built-in registry, and validates the options (the
+  /// default strategy must resolve).
+  static Result<std::unique_ptr<Engine>> Build(wiki::KnowledgeBase kb,
+                                               EngineOptions options = {});
+
+  /// \name Corpus
+  /// @{
+  /// \brief Adds a document to the retrieval index (before FinalizeIndex).
+  Result<ir::DocId> AddDocument(std::string_view name, std::string_view text);
+  /// \brief Freezes the corpus and builds the index; required before
+  /// Query/QueryBatch.
+  Status FinalizeIndex();
+  /// @}
+
+  /// \name Serving
+  /// @{
+  Result<ExpandResponse> Expand(const ExpandRequest& request) const;
+  Result<QueryResponse> Query(const QueryRequest& request) const;
+
+  /// \brief Expands every request; one expander instance is constructed
+  /// per distinct (strategy, overrides) pair instead of per request.
+  /// Fails atomically: the first bad request aborts the batch.
+  Result<std::vector<ExpandResponse>> ExpandBatch(
+      const std::vector<ExpandRequest>& requests) const;
+
+  /// \brief Queries every request with the same amortization as
+  /// ExpandBatch.  Rankings are identical to issuing the requests through
+  /// `Query` one by one.
+  Result<std::vector<QueryResponse>> QueryBatch(
+      const std::vector<QueryRequest>& requests) const;
+  /// @}
+
+  /// \name Components
+  /// @{
+  ExpanderRegistry& registry() { return registry_; }
+  const ExpanderRegistry& registry() const { return registry_; }
+  const wiki::KnowledgeBase& kb() const { return kb_; }
+  const linking::EntityLinker& linker() const { return *linker_; }
+  const ir::SearchEngine& search_engine() const { return *search_; }
+  const EngineOptions& options() const { return options_; }
+  const EngineStats& stats() const { return stats_; }
+  /// @}
+
+ private:
+  Engine() = default;
+
+  /// A request's strategy, instantiated and canonically named.
+  struct ResolvedExpander {
+    const expansion::Expander* expander = nullptr;
+    std::string name;
+  };
+
+  /// Builds (or reuses, via `cache`) the expander for a request.
+  Result<ResolvedExpander> ResolveExpander(
+      std::string_view name, const ExpanderOverrides& overrides,
+      std::map<std::string, std::unique_ptr<expansion::Expander>>* cache)
+      const;
+
+  Result<ExpandResponse> ExpandWith(const expansion::Expander& expander,
+                                    std::string_view resolved_name,
+                                    std::string_view keywords) const;
+  Result<QueryResponse> QueryWith(const expansion::Expander& expander,
+                                  std::string_view resolved_name,
+                                  const QueryRequest& request) const;
+
+  EngineOptions options_;
+  wiki::KnowledgeBase kb_;
+  std::unique_ptr<linking::EntityLinker> linker_;
+  std::unique_ptr<ir::SearchEngine> search_;
+  ExpanderRegistry registry_;
+  mutable EngineStats stats_;
+};
+
+}  // namespace wqe::api

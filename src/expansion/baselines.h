@@ -41,8 +41,8 @@ struct DirectLinkOptions {
 /// \brief Per-article link expansion (refs [1–3]).
 class DirectLinkExpansion : public Expander {
  public:
-  DirectLinkExpansion(const wiki::KnowledgeBase* kb,
-                      const linking::EntityLinker* linker,
+  DirectLinkExpansion(const wiki::KnowledgeBase& kb,
+                      const linking::EntityLinker& linker,
                       DirectLinkOptions options = {})
       : Expander(kb, linker), options_(options) {}
   const char* name() const override {
@@ -67,8 +67,8 @@ struct CommunityOptions {
 /// \brief Triangle/community expansion (ref [4] style).
 class CommunityExpansion : public Expander {
  public:
-  CommunityExpansion(const wiki::KnowledgeBase* kb,
-                     const linking::EntityLinker* linker,
+  CommunityExpansion(const wiki::KnowledgeBase& kb,
+                     const linking::EntityLinker& linker,
                      CommunityOptions options = {})
       : Expander(kb, linker), options_(options) {}
   const char* name() const override { return "community"; }

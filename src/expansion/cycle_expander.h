@@ -73,8 +73,8 @@ struct CycleExpanderOptions {
 /// \brief Dense-cycle expansion system.
 class CycleExpander : public Expander {
  public:
-  CycleExpander(const wiki::KnowledgeBase* kb,
-                const linking::EntityLinker* linker,
+  CycleExpander(const wiki::KnowledgeBase& kb,
+                const linking::EntityLinker& linker,
                 CycleExpanderOptions options = {})
       : Expander(kb, linker), options_(options) {}
 

@@ -7,7 +7,7 @@ namespace wqe::expansion {
 
 Result<ExpandedQuery> Expander::Expand(std::string_view keywords) const {
   ExpandedQuery out;
-  out.query_articles = linker_->LinkToArticles(keywords);
+  out.query_articles = linker().LinkToArticles(keywords);
 
   if (out.query_articles.empty()) {
     // Nothing linked: retrieval proceeds with the raw keywords.

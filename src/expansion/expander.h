@@ -36,11 +36,16 @@ struct ExpandedQuery {
 ///
 /// The template method `Expand` handles linking and query construction;
 /// subclasses implement feature selection only.
+///
+/// Construction takes references: an expander is never valid without a
+/// knowledge base and a linker, and the referenced objects must outlive
+/// it (the `api::Engine` facade owns both and hands out expanders through
+/// its registry, which is the supported way to build one).
 class Expander {
  public:
-  Expander(const wiki::KnowledgeBase* kb,
-           const linking::EntityLinker* linker)
-      : kb_(kb), linker_(linker) {}
+  Expander(const wiki::KnowledgeBase& kb,
+           const linking::EntityLinker& linker)
+      : kb_(&kb), linker_(&linker) {}
   virtual ~Expander() = default;
 
   /// \brief System name (for reports).
@@ -56,6 +61,7 @@ class Expander {
       const std::vector<NodeId>& query_articles) const = 0;
 
   const wiki::KnowledgeBase& kb() const { return *kb_; }
+  const linking::EntityLinker& linker() const { return *linker_; }
 
  private:
   const wiki::KnowledgeBase* kb_;

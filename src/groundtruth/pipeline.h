@@ -1,13 +1,20 @@
 #pragma once
 
 /// \file pipeline.h
-/// \brief End-to-end experiment context.
+/// \brief Internal experiment fixture for the §2/§3 machinery.
 ///
-/// Wires together everything a paper experiment needs: the (synthetic)
-/// Wikipedia, the (synthetic) ImageCLEF-style track, the retrieval engine
-/// indexed over the extracted document text, the entity linker, and the
-/// per-topic relevance judgments.  Benches, tests and examples all build
-/// one `Pipeline` and work from it.
+/// Wires together everything the ground-truth construction and the
+/// query-graph analysis need: the (synthetic) Wikipedia, the (synthetic)
+/// ImageCLEF-style track, the retrieval engine indexed over the extracted
+/// document text, the entity linker, and the per-topic relevance
+/// judgments.
+///
+/// This is NOT the public entry point.  Serving-style callers — examples,
+/// benches, expansion tests — build an `api::Engine` (via `api::Testbed`
+/// for synthetic experiments) and select expansion strategies through its
+/// registry; the Pipeline remains as the fixture that
+/// `groundtruth::GroundTruthBuilder` and `analysis::QueryGraphAnalyzer`
+/// consume.
 
 #include <memory>
 #include <vector>

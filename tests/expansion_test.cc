@@ -1,35 +1,39 @@
 /// \file expansion_test.cc
 /// \brief Tests for the expansion systems: cycle expander and baselines.
+///
+/// Concrete expander classes are constructed directly only here (these
+/// are their unit tests); everything else goes through the api::Engine
+/// registry.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
+#include "api/evaluation.h"
+#include "api/testbed.h"
 #include "expansion/baselines.h"
 #include "expansion/cycle_expander.h"
-#include "expansion/evaluation.h"
-#include "groundtruth/pipeline.h"
 
 namespace wqe::expansion {
 namespace {
 
-const groundtruth::Pipeline& SmallPipeline() {
-  static const groundtruth::Pipeline* kPipeline = [] {
-    groundtruth::PipelineOptions options;
+const api::Testbed& SmallBed() {
+  static const api::Testbed* kBed = [] {
+    api::TestbedOptions options;
     options.wiki.num_domains = 12;
     options.track.num_topics = 6;
     options.track.background_docs = 150;
-    auto result = groundtruth::Pipeline::Build(options);
+    auto result = api::Testbed::Build(options);
     EXPECT_TRUE(result.ok()) << result.status();
     return result->release();
   }();
-  return *kPipeline;
+  return *kBed;
 }
 
 TEST(NoExpansionTest, EmitsKeywordsOnly) {
-  const auto& p = SmallPipeline();
-  NoExpansion system(&p.kb(), &p.linker());
-  auto expanded = system.Expand(p.topic(0).keywords);
+  const auto& bed = SmallBed();
+  NoExpansion system(bed.kb(), bed.linker());
+  auto expanded = system.Expand(bed.topic(0).keywords);
   ASSERT_TRUE(expanded.ok());
   EXPECT_TRUE(expanded->feature_articles.empty());
   EXPECT_EQ(expanded->titles.size(), expanded->query_articles.size());
@@ -37,8 +41,8 @@ TEST(NoExpansionTest, EmitsKeywordsOnly) {
 }
 
 TEST(ExpanderTest, UnlinkableKeywordsFallBackToRawQuery) {
-  const auto& p = SmallPipeline();
-  NoExpansion system(&p.kb(), &p.linker());
+  const auto& bed = SmallBed();
+  NoExpansion system(bed.kb(), bed.linker());
   auto expanded = system.Expand("zzz qqq www");
   ASSERT_TRUE(expanded.ok());
   EXPECT_TRUE(expanded->query_articles.empty());
@@ -47,35 +51,35 @@ TEST(ExpanderTest, UnlinkableKeywordsFallBackToRawQuery) {
 }
 
 TEST(DirectLinkTest, FeaturesAreLinkedNeighbors) {
-  const auto& p = SmallPipeline();
-  DirectLinkExpansion system(&p.kb(), &p.linker());
-  auto expanded = system.Expand(p.topic(0).keywords);
+  const auto& bed = SmallBed();
+  DirectLinkExpansion system(bed.kb(), bed.linker());
+  auto expanded = system.Expand(bed.topic(0).keywords);
   ASSERT_TRUE(expanded.ok());
   EXPECT_FALSE(expanded->feature_articles.empty());
   EXPECT_LE(expanded->feature_articles.size(), 10u);
   for (graph::NodeId f : expanded->feature_articles) {
     bool linked = false;
     for (graph::NodeId q : expanded->query_articles) {
-      if (p.kb().graph().HasEdge(q, f, graph::EdgeKind::kLink)) {
+      if (bed.kb().graph().HasEdge(q, f, graph::EdgeKind::kLink)) {
         linked = true;
         break;
       }
     }
-    EXPECT_TRUE(linked) << p.kb().display_title(f);
+    EXPECT_TRUE(linked) << bed.kb().display_title(f);
   }
 }
 
 TEST(CommunityTest, FeaturesCloseTrianglesWithQuery) {
-  const auto& p = SmallPipeline();
-  CommunityExpansion system(&p.kb(), &p.linker());
-  auto expanded = system.Expand(p.topic(0).keywords);
+  const auto& bed = SmallBed();
+  CommunityExpansion system(bed.kb(), bed.linker());
+  auto expanded = system.Expand(bed.topic(0).keywords);
   ASSERT_TRUE(expanded.ok());
   EXPECT_LE(expanded->feature_articles.size(), 10u);
 }
 
 TEST(CycleExpanderTest, AcceptsCycleFilters) {
-  const auto& p = SmallPipeline();
-  CycleExpander system(&p.kb(), &p.linker());
+  const auto& bed = SmallBed();
+  CycleExpander system(bed.kb(), bed.linker());
 
   graph::CycleMetrics two_cycle;
   two_cycle.length = 2;
@@ -117,13 +121,13 @@ TEST(CycleExpanderTest, AcceptsCycleFilters) {
 }
 
 TEST(CycleExpanderTest, FindsPlantedCoreArticles) {
-  const auto& p = SmallPipeline();
-  CycleExpander system(&p.kb(), &p.linker());
+  const auto& bed = SmallBed();
+  CycleExpander system(bed.kb(), bed.linker());
   size_t topics_with_core_hit = 0;
-  for (size_t t = 0; t < p.num_topics(); ++t) {
-    auto expanded = system.Expand(p.topic(t).keywords);
+  for (size_t t = 0; t < bed.num_topics(); ++t) {
+    auto expanded = system.Expand(bed.topic(t).keywords);
     ASSERT_TRUE(expanded.ok());
-    const auto& planted = p.topic(t).planted_good;
+    const auto& planted = bed.topic(t).planted_good;
     size_t hits = 0;
     for (graph::NodeId f : expanded->feature_articles) {
       if (std::find(planted.begin(), planted.end(), f) != planted.end()) {
@@ -133,38 +137,37 @@ TEST(CycleExpanderTest, FindsPlantedCoreArticles) {
     if (hits >= 2) ++topics_with_core_hit;
   }
   // Structure must recover planted features for most topics.
-  EXPECT_GE(topics_with_core_hit, p.num_topics() - 1);
+  EXPECT_GE(topics_with_core_hit, bed.num_topics() - 1);
 }
 
 TEST(CycleExpanderTest, RespectsMaxFeatures) {
-  const auto& p = SmallPipeline();
+  const auto& bed = SmallBed();
   CycleExpanderOptions options;
   options.max_features = 3;
-  CycleExpander system(&p.kb(), &p.linker(), options);
-  auto expanded = system.Expand(p.topic(0).keywords);
+  CycleExpander system(bed.kb(), bed.linker(), options);
+  auto expanded = system.Expand(bed.topic(0).keywords);
   ASSERT_TRUE(expanded.ok());
   EXPECT_LE(expanded->feature_articles.size(), 3u);
 }
 
 TEST(CycleExpanderTest, DeterministicOutput) {
-  const auto& p = SmallPipeline();
-  CycleExpander system(&p.kb(), &p.linker());
-  auto a = system.Expand(p.topic(2).keywords);
-  auto b = system.Expand(p.topic(2).keywords);
+  const auto& bed = SmallBed();
+  CycleExpander system(bed.kb(), bed.linker());
+  auto a = system.Expand(bed.topic(2).keywords);
+  auto b = system.Expand(bed.topic(2).keywords);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->feature_articles, b->feature_articles);
 }
 
 TEST(EvaluationTest, CycleExpansionBeatsNoExpansion) {
-  const auto& p = SmallPipeline();
-  NoExpansion baseline(&p.kb(), &p.linker());
-  CycleExpander cycle(&p.kb(), &p.linker());
-  auto base_eval = EvaluateExpander(baseline, p);
-  auto cycle_eval = EvaluateExpander(cycle, p);
+  const auto& bed = SmallBed();
+  const auto topics = bed.EvalTopics();
+  auto base_eval = api::EvaluateSystem(bed.engine(), "no-expansion", topics);
+  auto cycle_eval = api::EvaluateSystem(bed.engine(), "cycle", topics);
   ASSERT_TRUE(base_eval.ok());
   ASSERT_TRUE(cycle_eval.ok());
-  EXPECT_EQ(base_eval->topics, p.num_topics());
+  EXPECT_EQ(base_eval->topics, bed.num_topics());
   // The headline result: structure-guided expansion improves Equation 1.
   EXPECT_GT(cycle_eval->mean_o, base_eval->mean_o + 0.05);
   EXPECT_GT(cycle_eval->mean_precision[2], base_eval->mean_precision[2]);
@@ -173,11 +176,10 @@ TEST(EvaluationTest, CycleExpansionBeatsNoExpansion) {
 }
 
 TEST(EvaluationTest, CycleExpansionCompetitiveWithDirectLink) {
-  const auto& p = SmallPipeline();
-  DirectLinkExpansion direct(&p.kb(), &p.linker());
-  CycleExpander cycle(&p.kb(), &p.linker());
-  auto direct_eval = EvaluateExpander(direct, p);
-  auto cycle_eval = EvaluateExpander(cycle, p);
+  const auto& bed = SmallBed();
+  const auto topics = bed.EvalTopics();
+  auto direct_eval = api::EvaluateSystem(bed.engine(), "direct-link", topics);
+  auto cycle_eval = api::EvaluateSystem(bed.engine(), "cycle", topics);
   ASSERT_TRUE(direct_eval.ok());
   ASSERT_TRUE(cycle_eval.ok());
   // Both systems should land in the same quality regime; the ablation

@@ -8,9 +8,8 @@
 
 #include "analysis/paper_report.h"
 #include "analysis/query_graph_analysis.h"
-#include "expansion/baselines.h"
-#include "expansion/cycle_expander.h"
-#include "expansion/evaluation.h"
+#include "api/evaluation.h"
+#include "api/testbed.h"
 #include "groundtruth/ground_truth.h"
 #include "groundtruth/pipeline.h"
 #include "wiki/dump.h"
@@ -20,6 +19,7 @@ namespace {
 
 struct EndToEnd {
   const groundtruth::Pipeline* pipeline;
+  const api::Testbed* bed;  ///< facade view of the same experiment
   groundtruth::GroundTruth gt;
   std::vector<analysis::TopicAnalysis> analyses;
 };
@@ -34,6 +34,13 @@ const EndToEnd& Context() {
     auto pipeline = groundtruth::Pipeline::Build(options);
     EXPECT_TRUE(pipeline.ok()) << pipeline.status();
     ctx->pipeline = pipeline->release();
+
+    // The serving-facade view: same generator options, so the engine is
+    // built over an identical KB, corpus and track.
+    auto bed = api::Testbed::Build(
+        api::TestbedOptions::FromPipelineOptions(options));
+    EXPECT_TRUE(bed.ok()) << bed.status();
+    ctx->bed = bed->release();
 
     groundtruth::XqOptimizerOptions xq;
     xq.restarts = 1;
@@ -62,14 +69,12 @@ TEST(EndToEndTest, GroundTruthImprovesEveryTopic) {
 
 TEST(EndToEndTest, SystemOrderingMatchesPaperNarrative) {
   const auto& ctx = Context();
-  const groundtruth::Pipeline& p = *ctx.pipeline;
-  expansion::NoExpansion none(&p.kb(), &p.linker());
-  expansion::DirectLinkExpansion direct(&p.kb(), &p.linker());
-  expansion::CycleExpander cycle(&p.kb(), &p.linker());
+  const api::Engine& engine = ctx.bed->engine();
+  const auto topics = ctx.bed->EvalTopics();
 
-  auto none_eval = expansion::EvaluateExpander(none, p);
-  auto direct_eval = expansion::EvaluateExpander(direct, p);
-  auto cycle_eval = expansion::EvaluateExpander(cycle, p);
+  auto none_eval = api::EvaluateSystem(engine, "no-expansion", topics);
+  auto direct_eval = api::EvaluateSystem(engine, "direct-link", topics);
+  auto cycle_eval = api::EvaluateSystem(engine, "cycle", topics);
   ASSERT_TRUE(none_eval.ok());
   ASSERT_TRUE(direct_eval.ok());
   ASSERT_TRUE(cycle_eval.ok());
@@ -84,13 +89,13 @@ TEST(EndToEndTest, SystemOrderingMatchesPaperNarrative) {
 
 TEST(EndToEndTest, RedirectAliasExtensionDoesNotHurt) {
   const auto& ctx = Context();
-  const groundtruth::Pipeline& p = *ctx.pipeline;
-  expansion::CycleExpanderOptions with_aliases;
+  const api::Engine& engine = ctx.bed->engine();
+  const auto topics = ctx.bed->EvalTopics();
+  api::ExpanderOverrides with_aliases;
   with_aliases.include_redirect_aliases = true;
-  expansion::CycleExpander base(&p.kb(), &p.linker());
-  expansion::CycleExpander aliased(&p.kb(), &p.linker(), with_aliases);
-  auto base_eval = expansion::EvaluateExpander(base, p);
-  auto alias_eval = expansion::EvaluateExpander(aliased, p);
+  auto base_eval = api::EvaluateSystem(engine, "cycle", topics);
+  auto alias_eval =
+      api::EvaluateSystem(engine, "cycle", topics, with_aliases);
   ASSERT_TRUE(base_eval.ok());
   ASSERT_TRUE(alias_eval.ok());
   EXPECT_GE(alias_eval->mean_o, base_eval->mean_o - 0.05);
@@ -98,22 +103,28 @@ TEST(EndToEndTest, RedirectAliasExtensionDoesNotHurt) {
 
 TEST(EndToEndTest, AliasFeaturesAreRedirectsOfBaseFeatures) {
   const auto& ctx = Context();
-  const groundtruth::Pipeline& p = *ctx.pipeline;
-  expansion::CycleExpanderOptions options;
-  options.include_redirect_aliases = true;
-  expansion::CycleExpander system(&p.kb(), &p.linker(), options);
+  const api::Testbed& bed = *ctx.bed;
+  const wiki::KnowledgeBase& kb = bed.kb();
+  std::vector<api::ExpandRequest> requests;
+  for (size_t t = 0; t < bed.num_topics(); ++t) {
+    api::ExpandRequest request;
+    request.keywords = bed.topic(t).keywords;
+    request.expander = "cycle";
+    request.overrides.include_redirect_aliases = true;
+    requests.push_back(std::move(request));
+  }
+  auto batch = bed.engine().ExpandBatch(requests);
+  ASSERT_TRUE(batch.ok()) << batch.status();
   size_t alias_count = 0;
-  for (size_t t = 0; t < p.num_topics(); ++t) {
-    auto expanded = system.Expand(p.topic(t).keywords);
-    ASSERT_TRUE(expanded.ok());
-    for (graph::NodeId f : expanded->feature_articles) {
-      if (!p.kb().IsRedirect(f)) continue;
+  for (const api::ExpandResponse& expanded : *batch) {
+    for (graph::NodeId f : expanded.feature_articles) {
+      if (!kb.IsRedirect(f)) continue;
       ++alias_count;
       // The alias' main article must itself be a selected feature.
-      graph::NodeId main = p.kb().ResolveRedirect(f);
-      EXPECT_NE(std::find(expanded->feature_articles.begin(),
-                          expanded->feature_articles.end(), main),
-                expanded->feature_articles.end());
+      graph::NodeId main = kb.ResolveRedirect(f);
+      EXPECT_NE(std::find(expanded.feature_articles.begin(),
+                          expanded.feature_articles.end(), main),
+                expanded.feature_articles.end());
     }
   }
   EXPECT_GT(alias_count, 0u);  // the KB has plenty of redirects

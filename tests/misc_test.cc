@@ -91,7 +91,7 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
 
 TEST(CycleExpanderEdgeTest, SingleQueryArticleStillExpands) {
   const auto& p = TinyPipeline();
-  expansion::CycleExpander system(&p.kb(), &p.linker());
+  expansion::CycleExpander system(p.kb(), p.linker());
   // A bare hub title links to exactly one article.
   const auto& hub_title =
       p.kb().display_title(p.topic(0).query_articles[0]);
@@ -105,7 +105,7 @@ TEST(CycleExpanderEdgeTest, TinyNeighborhoodCapStillWorks) {
   const auto& p = TinyPipeline();
   expansion::CycleExpanderOptions options;
   options.max_neighborhood = 5;  // barely more than the query itself
-  expansion::CycleExpander system(&p.kb(), &p.linker(), options);
+  expansion::CycleExpander system(p.kb(), p.linker(), options);
   auto expanded = system.Expand(p.topic(0).keywords);
   ASSERT_TRUE(expanded.ok());  // may find few/no features, must not fail
 }
@@ -114,7 +114,7 @@ TEST(CycleExpanderEdgeTest, MaxCyclesCapRespected) {
   const auto& p = TinyPipeline();
   expansion::CycleExpanderOptions options;
   options.max_cycles = 3;
-  expansion::CycleExpander system(&p.kb(), &p.linker(), options);
+  expansion::CycleExpander system(p.kb(), p.linker(), options);
   auto expanded = system.Expand(p.topic(0).keywords);
   ASSERT_TRUE(expanded.ok());
   EXPECT_LE(expanded->feature_articles.size(), options.max_features);
@@ -124,7 +124,7 @@ TEST(CommunityEdgeTest, EmptyNeighborhoodYieldsNoFeatures) {
   const auto& p = TinyPipeline();
   expansion::CommunityOptions options;
   options.max_neighborhood = 1;
-  expansion::CommunityExpansion system(&p.kb(), &p.linker(), options);
+  expansion::CommunityExpansion system(p.kb(), p.linker(), options);
   auto expanded = system.Expand(p.topic(0).keywords);
   ASSERT_TRUE(expanded.ok());
   EXPECT_TRUE(expanded->feature_articles.empty());
