@@ -1,9 +1,11 @@
 #include "bench/bench_common.h"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 
@@ -42,6 +44,25 @@ void AddEvaluationRow(const api::SystemEvaluation& eval,
                  FormatDouble(eval.mean_precision[3], 3),
                  FormatDouble(eval.mean_o, 3),
                  FormatDouble(eval.mean_features, 1)});
+}
+
+std::vector<uint32_t> ZipfianRequestMix(size_t count, uint32_t num_distinct,
+                                        double s, uint64_t seed) {
+  WQE_CHECK(num_distinct > 0);
+  // Explicit rank weights 1/(r+1)^s drawn by weighted choice: exact for
+  // the small alphabets load mixes use (topics, not articles), and keeps
+  // a long tail — rank 0 of a 50-topic s=1 mix gets ~22%, not ~99%.
+  std::vector<double> weights(num_distinct);
+  for (uint32_t r = 0; r < num_distinct; ++r) {
+    weights[r] = 1.0 / std::pow(static_cast<double>(r) + 1.0, s);
+  }
+  Rng rng(seed);
+  std::vector<uint32_t> mix;
+  mix.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    mix.push_back(static_cast<uint32_t>(rng.WeightedChoice(weights)));
+  }
+  return mix;
 }
 
 const api::Testbed& GetBenchTestbed() {

@@ -53,4 +53,12 @@ api::TestbedOptions BenchTestbedOptions();
 void AddEvaluationRow(const api::SystemEvaluation& eval,
                       const std::string& label, TablePrinter* table);
 
+/// \brief A deterministic Zipfian request mix: `count` draws from
+/// `[0, num_distinct)` with rank-frequency exponent `s` (rank 0 most
+/// popular), seeded via `common/rng` so load tests replay bit-identically.
+/// The serving bench (`perf_parallel_serving`) uses this as its query
+/// stream; the skew is what makes an expansion cache pay off.
+std::vector<uint32_t> ZipfianRequestMix(size_t count, uint32_t num_distinct,
+                                        double s, uint64_t seed);
+
 }  // namespace wqe::bench

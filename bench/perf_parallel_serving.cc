@@ -1,0 +1,164 @@
+/// \file perf_parallel_serving.cc
+/// \brief E13 — concurrent serving through `serve::Server`.
+///
+/// Replays a Zipfian query mix (the heavy-tailed shape real query logs
+/// have) over the Testbed track three ways:
+///
+///   1. sequential `Engine::QueryBatch` — the PR-1 baseline;
+///   2. parallel `serve::Server::QueryBatch` at 1/2/4 worker threads with
+///      the expansion cache disabled — pure thread-pool scaling;
+///   3. two passes through a cache-enabled server — the second pass must
+///      serve (almost) every expansion from the sharded LRU.
+///
+/// Hard correctness checks (aborts, not just reporting):
+///   - every parallel ranking is document-identical to the sequential one;
+///   - cache hits are counter-verified against `EngineStats` and the
+///     cache's own counters, with a > 0.9 hit ratio on the warm pass;
+///   - with ≥ 4 hardware threads, 4 workers must reach ≥ 2× the 1-worker
+///     QueryBatch throughput (reported either way on smaller machines).
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "serve/server.h"
+
+using namespace wqe;
+
+namespace {
+
+std::vector<api::QueryRequest> ZipfianRequests(const api::Testbed& bed,
+                                               size_t count) {
+  std::vector<uint32_t> mix = bench::ZipfianRequestMix(
+      count, static_cast<uint32_t>(bed.num_topics()), /*s=*/1.0,
+      /*seed=*/0xbeef);
+  std::vector<api::QueryRequest> requests;
+  requests.reserve(mix.size());
+  for (uint32_t topic : mix) {
+    api::QueryRequest request;
+    request.keywords = bed.topic(topic).keywords;
+    request.expander = "cycle";
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+void CheckIdenticalRankings(const std::vector<api::QueryResponse>& got,
+                            const std::vector<api::QueryResponse>& want) {
+  WQE_CHECK(got.size() == want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    WQE_CHECK(got[i].docs == want[i].docs);
+    WQE_CHECK(got[i].expansion.titles == want[i].expansion.titles);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const api::Testbed& bed = bench::GetBenchTestbed();
+  const api::Engine& engine = bed.engine();
+  const std::vector<api::QueryRequest> requests =
+      ZipfianRequests(bed, 4 * bed.num_topics());
+  const size_t n = requests.size();
+
+  // Sequential baseline and reference rankings.
+  Stopwatch watch;
+  auto sequential = engine.QueryBatch(requests);
+  WQE_CHECK_OK(sequential.status());
+  double sequential_ms = watch.ElapsedMillis();
+
+  TablePrinter table("E13 — parallel serving throughput (Zipfian mix, s=1)");
+  table.SetHeader(
+      {"path", "threads", "requests", "total ms", "req/s", "speedup"});
+  auto add_row = [&](const char* path, size_t threads, double ms) {
+    table.AddRow({path, std::to_string(threads), std::to_string(n),
+                  FormatDouble(ms, 1),
+                  FormatDouble(1000.0 * static_cast<double>(n) / ms, 1),
+                  FormatDouble(sequential_ms / ms, 2)});
+  };
+  add_row("Engine::QueryBatch (seq)", 1, sequential_ms);
+
+  // Thread-pool scaling, cache off: same work, more workers.
+  double one_thread_ms = 0.0;
+  double four_thread_ms = 0.0;
+  for (size_t threads : {1u, 2u, 4u}) {
+    serve::ServerOptions options;
+    options.num_threads = threads;
+    options.enable_cache = false;
+    serve::Server server(engine, options);
+    watch.Reset();
+    auto parallel = server.QueryBatch(requests);
+    double ms = watch.ElapsedMillis();
+    WQE_CHECK_OK(parallel.status());
+    CheckIdenticalRankings(*parallel, *sequential);
+    add_row("serve::Server::QueryBatch", threads, ms);
+    if (threads == 1) one_thread_ms = ms;
+    if (threads == 4) four_thread_ms = ms;
+  }
+
+  // Cache effectiveness: cold pass then warm pass, counter-verified.
+  serve::ServerOptions cached;
+  cached.num_threads = 4;
+  cached.cache.capacity = 4096;
+  serve::Server server(engine, cached);
+  size_t engine_hits_before = engine.stats().cache_hits;
+
+  watch.Reset();
+  auto cold = server.QueryBatch(requests);
+  double cold_ms = watch.ElapsedMillis();
+  WQE_CHECK_OK(cold.status());
+  size_t cold_hits = engine.stats().cache_hits - engine_hits_before;
+
+  watch.Reset();
+  auto warm = server.QueryBatch(requests);
+  double warm_ms = watch.ElapsedMillis();
+  WQE_CHECK_OK(warm.status());
+  size_t warm_hits = engine.stats().cache_hits - engine_hits_before - cold_hits;
+
+  CheckIdenticalRankings(*cold, *sequential);
+  CheckIdenticalRankings(*warm, *sequential);
+  // The warm pass must hit on every request, and the engine-side counters
+  // must agree with the cache's own.  (cold_hits itself is scheduling-
+  // dependent — two in-flight requests for one key can both miss — so it
+  // is consistency-checked but never printed; see the verify skill's
+  // deterministic-output contract.)
+  WQE_CHECK(warm_hits == n);
+  serve::ExpansionCacheStats cache_stats = server.cache()->stats();
+  WQE_CHECK(cache_stats.hits == cold_hits + warm_hits);
+  WQE_CHECK(cache_stats.hits + cache_stats.misses == 2 * n);
+  double warm_ratio =
+      static_cast<double>(warm_hits) / static_cast<double>(n);
+  WQE_CHECK(warm_ratio > 0.9);
+
+  add_row("cached Server (cold)", 4, cold_ms);
+  add_row("cached Server (warm)", 4, warm_ms);
+  table.Print();
+
+  std::set<std::string> distinct_keys;
+  for (const api::QueryRequest& request : requests) {
+    distinct_keys.insert(request.keywords);
+  }
+  std::printf(
+      "\nrankings identical across all paths (%zu requests, %zu distinct, "
+      "%zu topics)\n"
+      "warm-pass cache hit ratio: %.3f (%zu/%zu, counter-verified)\n",
+      n, distinct_keys.size(), bed.num_topics(), warm_ratio, warm_hits, n);
+
+  unsigned hw = std::thread::hardware_concurrency();
+  double speedup = one_thread_ms / four_thread_ms;
+  std::printf("4-thread speedup over 1 thread: %.2fx on %u hardware "
+              "thread(s)\n", speedup, hw);
+  if (hw >= 4) {
+    WQE_CHECK(speedup >= 2.0);  // the ISSUE-2 acceptance bar
+  } else {
+    std::printf("(< 4 hardware threads: the >= 2x acceptance check is "
+                "skipped on this machine)\n");
+  }
+  return 0;
+}

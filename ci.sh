@@ -1,8 +1,20 @@
 #!/usr/bin/env sh
-# CI entry point: tier-1 verify with warnings-as-errors on the library.
-# Mirrors .github/workflows/ci.yml so the same check runs locally.
+# CI entry point: tier-1 verify with warnings-as-errors on the library,
+# then the serve/ concurrency suite under ThreadSanitizer.
+# Mirrors .github/workflows/ci.yml so the same checks run locally.
 set -eux
 
 cmake -B build -S . -DWQE_WERROR=ON
 cmake --build build -j
 cd build && ctest --output-on-failure -j
+cd ..
+
+# ThreadSanitizer pass over the concurrency subsystem (tests only; the
+# benches and examples don't add coverage and double the build).  Debug
+# so NDEBUG is off and the WQE_DCHECK contracts (registry freeze) are
+# live — the main build's RelWithDebInfo compiles them out.
+cmake -B build-tsan -S . -DWQE_TSAN=ON -DWQE_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j
+cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test'

@@ -46,18 +46,35 @@ Result<ir::DocId> Engine::AddDocument(std::string_view name,
 
 Status Engine::FinalizeIndex() { return search_->Finalize(); }
 
+ExpanderRegistry& Engine::registry() {
+  WQE_DCHECK(!registry_locked());  // no registration once serving started
+  return registry_;
+}
+
+std::string Engine::ResolveStrategy(std::string_view expander) const {
+  return registry_.Resolve(expander.empty() ? options_.default_expander
+                                            : expander);
+}
+
+Result<std::unique_ptr<expansion::Expander>> Engine::BuildExpander(
+    std::string_view expander, const ExpanderOverrides& overrides) const {
+  WQE_ASSIGN_OR_RETURN(
+      std::unique_ptr<expansion::Expander> built,
+      registry_.Create(ResolveStrategy(expander), kb_, *linker_, overrides));
+  ++stats_.expanders_constructed;
+  return built;
+}
+
 Result<Engine::ResolvedExpander> Engine::ResolveExpander(
     std::string_view name, const ExpanderOverrides& overrides,
     std::map<std::string, std::unique_ptr<expansion::Expander>>* cache)
     const {
-  std::string resolved =
-      registry_.Resolve(name.empty() ? options_.default_expander : name);
+  std::string resolved = ResolveStrategy(name);
   std::string key = ConfigKey(resolved, overrides);
   auto it = cache->find(key);
   if (it == cache->end()) {
     WQE_ASSIGN_OR_RETURN(std::unique_ptr<expansion::Expander> built,
-                         registry_.Create(resolved, kb_, *linker_, overrides));
-    ++stats_.expanders_constructed;
+                         BuildExpander(resolved, overrides));
     it = cache->emplace(std::move(key), std::move(built)).first;
   }
   return ResolvedExpander{it->second.get(), std::move(resolved)};
@@ -88,11 +105,26 @@ Result<QueryResponse> Engine::QueryWith(const expansion::Expander& expander,
         "Query before FinalizeIndex(): the corpus is not indexed yet");
   }
   Stopwatch total;
-  QueryResponse response;
   WQE_ASSIGN_OR_RETURN(
-      response.expansion,
+      ExpandResponse expansion,
       ExpandWith(expander, resolved_name, request.keywords));
-  size_t k = request.top_k == 0 ? options_.default_top_k : request.top_k;
+  WQE_ASSIGN_OR_RETURN(
+      QueryResponse response,
+      QueryWithExpansion(std::move(expansion), request.top_k));
+  response.total_ms = total.ElapsedMillis();
+  return response;
+}
+
+Result<QueryResponse> Engine::QueryWithExpansion(ExpandResponse expansion,
+                                                 size_t top_k) const {
+  if (!search_->finalized()) {
+    return Status::InvalidArgument(
+        "Query before FinalizeIndex(): the corpus is not indexed yet");
+  }
+  Stopwatch total;
+  QueryResponse response;
+  response.expansion = std::move(expansion);
+  size_t k = top_k == 0 ? options_.default_top_k : top_k;
   Stopwatch search_watch;
   WQE_ASSIGN_OR_RETURN(response.docs,
                        search_->Search(response.expansion.query, k));

@@ -90,6 +90,11 @@ struct EngineStats {
   std::atomic<size_t> expand_calls{0};  ///< single expansions served
   std::atomic<size_t> searches{0};      ///< retrieval invocations
   std::atomic<size_t> batches{0};       ///< ExpandBatch/QueryBatch calls
+  /// Serving-layer expansion-cache outcomes, recorded through
+  /// `NoteCacheHit`/`NoteCacheMiss` by the `serve::Server` wrapping this
+  /// engine (the engine itself does not cache).
+  std::atomic<size_t> cache_hits{0};
+  std::atomic<size_t> cache_misses{0};
 };
 
 /// \brief The facade.  Immutable topology after `Build` (documents may be
@@ -129,9 +134,55 @@ class Engine {
       const std::vector<QueryRequest>& requests) const;
   /// @}
 
+  /// \name Serving hooks
+  /// Low-level building blocks for the `serve::Server` concurrency layer:
+  /// they expose the expand/search halves of `Query` separately so a
+  /// caching server can skip the expansion half on a hit, while the
+  /// amortization and stats semantics stay inside the engine.
+  /// @{
+  /// \brief A request's canonical strategy name: empty resolves to the
+  /// engine default, aliases to their targets.  Unknown names pass through
+  /// unchanged (they fail later, in `BuildExpander`, with a proper error).
+  std::string ResolveStrategy(std::string_view expander) const;
+
+  /// \brief Constructs one expander instance for `(strategy, overrides)`
+  /// and counts it in `stats().expanders_constructed`.  The instance only
+  /// borrows the engine's KB and linker and its `Expand` is const, so one
+  /// instance may serve many threads concurrently.
+  Result<std::unique_ptr<expansion::Expander>> BuildExpander(
+      std::string_view expander, const ExpanderOverrides& overrides) const;
+
+  /// \brief Expands `keywords` with a caller-provided (typically shared)
+  /// expander instance; `resolved_name` is echoed into the response.
+  Result<ExpandResponse> ExpandWith(const expansion::Expander& expander,
+                                    std::string_view resolved_name,
+                                    std::string_view keywords) const;
+
+  /// \brief Completes a query from an already-computed expansion (a
+  /// serving-cache hit): retrieval only, no linking or feature selection.
+  /// `expansion.expand_ms` is left as recorded when the expansion was
+  /// first computed.  `top_k == 0` uses the engine default.
+  Result<QueryResponse> QueryWithExpansion(ExpandResponse expansion,
+                                           size_t top_k) const;
+
+  /// \brief Records a serving-layer cache outcome in `stats()`.
+  void NoteCacheHit() const { ++stats_.cache_hits; }
+  void NoteCacheMiss() const { ++stats_.cache_misses; }
+
+  /// \brief Freezes the registry: after this, the non-const `registry()`
+  /// accessor is a contract violation (asserted in debug builds).  Called
+  /// by `serve::Server::Build` — registering strategies while worker
+  /// threads resolve names is unsupported.  Irreversible.
+  void LockRegistry() const { registry_locked_.store(true); }
+  bool registry_locked() const { return registry_locked_.load(); }
+  /// @}
+
   /// \name Components
   /// @{
-  ExpanderRegistry& registry() { return registry_; }
+  /// \brief Mutable registry access, for registering custom strategies
+  /// during setup.  Unsupported once a `serve::Server` wraps this engine
+  /// (see `LockRegistry`); debug builds abort on the violation.
+  ExpanderRegistry& registry();
   const ExpanderRegistry& registry() const { return registry_; }
   const wiki::KnowledgeBase& kb() const { return kb_; }
   const linking::EntityLinker& linker() const { return *linker_; }
@@ -155,9 +206,6 @@ class Engine {
       std::map<std::string, std::unique_ptr<expansion::Expander>>* cache)
       const;
 
-  Result<ExpandResponse> ExpandWith(const expansion::Expander& expander,
-                                    std::string_view resolved_name,
-                                    std::string_view keywords) const;
   Result<QueryResponse> QueryWith(const expansion::Expander& expander,
                                   std::string_view resolved_name,
                                   const QueryRequest& request) const;
@@ -168,6 +216,7 @@ class Engine {
   std::unique_ptr<ir::SearchEngine> search_;
   ExpanderRegistry registry_;
   mutable EngineStats stats_;
+  mutable std::atomic<bool> registry_locked_{false};
 };
 
 }  // namespace wqe::api

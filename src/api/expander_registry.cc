@@ -3,8 +3,10 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <type_traits>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/macros.h"
 
 namespace wqe::api {
@@ -65,6 +67,39 @@ std::string ExpanderOverrides::ToKey() const {
   emit("mc", max_cycles);
   emit("ra", include_redirect_aliases);
   return ss.str();
+}
+
+uint64_t ExpanderOverrides::Hash() const {
+  Hasher hasher;
+  // Presence bit then value, field by field in declaration order: unset
+  // fields still advance the accumulator, so {max_features=3} and
+  // {max_cycles=3} cannot collapse to the same hash trajectory.
+  auto fold = [&hasher](const auto& field) {
+    hasher.Add(field.has_value());
+    if (field) {
+      if constexpr (std::is_floating_point_v<
+                        std::decay_t<decltype(*field)>>) {
+        hasher.Add(*field);
+      } else {
+        hasher.Add(static_cast<uint64_t>(*field));
+      }
+    }
+  };
+  fold(max_features);
+  fold(neighborhood_radius);
+  fold(max_neighborhood);
+  fold(prioritize_mutual);
+  fold(min_cycle_length);
+  fold(max_cycle_length);
+  fold(min_density);
+  fold(min_category_ratio);
+  fold(max_category_ratio);
+  fold(two_cycle_weight);
+  fold(length_decay);
+  fold(sqrt_count_damping);
+  fold(max_cycles);
+  fold(include_redirect_aliases);
+  return hasher.hash();
 }
 
 Status ExpanderRegistry::Register(std::string name, Factory factory) {

@@ -65,6 +65,15 @@ struct ExpanderOverrides {
   /// \brief Stable text form, used as (part of) a cache key and in logs.
   std::string ToKey() const;
 
+  /// \brief Deterministic 64-bit hash, consistent with `operator==`: equal
+  /// overrides hash equal, and every field (set or unset) contributes so
+  /// that distinct overrides are distinguished.  Used by the serving
+  /// layer's sharded expansion cache; like any hash it is for bucketing —
+  /// entry identity additionally compares the full key with `==`.
+  uint64_t Hash() const;
+
+  /// Field-wise equality (an unset field differs from any set value); the
+  /// other half of the cache-key contract next to `Hash()`.
   bool operator==(const ExpanderOverrides& other) const = default;
 };
 

@@ -1,0 +1,15 @@
+#include "common/hash.h"
+
+namespace wqe {
+
+uint64_t HashBytes(const void* data, size_t size, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<uint64_t>(bytes[i]);
+    hash *= 0x100000001b3ULL;  // FNV-1a 64 prime
+  }
+  return hash;
+}
+
+}  // namespace wqe

@@ -50,3 +50,15 @@
       std::abort();                                                    \
     }                                                                  \
   } while (false)
+
+/// Debug-only WQE_CHECK: enforced when NDEBUG is not defined, a no-op
+/// otherwise.  For contract checks that are too hot (or too disruptive)
+/// for release builds, e.g. "the expander registry must not be mutated
+/// once serving has started".
+#ifdef NDEBUG
+#define WQE_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define WQE_DCHECK(cond) WQE_CHECK(cond)
+#endif

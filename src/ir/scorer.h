@@ -46,8 +46,14 @@ class QueryEvaluator {
   /// \brief Scores and ranks the top `k` documents for `query`.
   ///
   /// Only documents matching at least one leaf are ranked (unmatched
-  /// documents would all tie on pure background probability). Ties are
-  /// broken by ascending DocId for determinism.
+  /// documents would all tie on pure background probability).
+  ///
+  /// Determinism contract: equal scores tie-break by ascending DocId, so
+  /// the ranking is a pure function of (index, query, k) regardless of
+  /// internal iteration order.  The serving layer
+  /// (`serve::Server`) relies on this to guarantee parallel execution
+  /// returns bit-identical rankings to sequential execution — do not
+  /// weaken it (regression-tested in ir_test.cc).
   Result<std::vector<ScoredDoc>> Evaluate(const QueryNode& query,
                                           size_t k) const;
 

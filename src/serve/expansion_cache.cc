@@ -1,0 +1,119 @@
+#include "serve/expansion_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace wqe::serve {
+
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+uint64_t ExpansionCache::Key::Hash() const {
+  if (!memo_valid) {
+    Hasher hasher;
+    hasher.Add(std::string_view(keywords));
+    hasher.Add(std::string_view(expander));
+    hasher.Add(overrides.Hash());
+    memo_hash = hasher.hash();
+    memo_valid = true;
+  }
+  return memo_hash;
+}
+
+ExpansionCache::ExpansionCache(ExpansionCacheOptions options)
+    : options_(std::move(options)) {
+  size_t shards = RoundUpToPowerOfTwo(std::max<size_t>(1, options_.num_shards));
+  // More shards than entries would make every shard hold one entry and
+  // defeat the LRU; cap shards at the capacity.
+  shards = std::min(shards,
+                    RoundUpToPowerOfTwo(std::max<size_t>(1, options_.capacity)));
+  per_shard_capacity_ =
+      std::max<size_t>(1, (std::max<size_t>(1, options_.capacity) +
+                           shards - 1) / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const api::ExpandResponse> ExpansionCache::Get(
+    const Key& key) {
+  Shard& shard = ShardFor(key.Hash());
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (Expired(*it->second, now)) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    expirations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Refresh: move to the front of the shard's recency list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+void ExpansionCache::Put(const Key& key, api::ExpandResponse response) {
+  auto value = std::make_shared<const api::ExpandResponse>(std::move(response));
+  Shard& shard = ShardFor(key.Hash());
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(value);
+    it->second->inserted = now;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(value), now});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ExpansionCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+ExpansionCacheStats ExpansionCache::stats() const {
+  ExpansionCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.expirations = expirations_.load(std::memory_order_relaxed);
+  stats.entries = size();
+  return stats;
+}
+
+size_t ExpansionCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace wqe::serve

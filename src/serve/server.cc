@@ -1,0 +1,166 @@
+#include "serve/server.h"
+
+#include <map>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace wqe::serve {
+
+Server::Server(const api::Engine& engine, ServerOptions options)
+    : engine_(&engine),
+      options_(std::move(options)),
+      cache_(options_.enable_cache
+                 ? std::make_unique<ExpansionCache>(options_.cache)
+                 : nullptr),
+      pool_(options_.num_threads) {
+  engine_->LockRegistry();
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() { pool_.Shutdown(); }
+
+Result<api::ExpandResponse> Server::ExpandResolved(
+    const std::string& resolved, const std::string& keywords,
+    const api::ExpanderOverrides& overrides, BatchExpanders* batch) {
+  ExpansionCache::Key key;
+  if (cache_ != nullptr) {
+    key = ExpansionCache::Key{keywords, resolved, overrides};
+    if (std::shared_ptr<const api::ExpandResponse> hit = cache_->Get(key)) {
+      engine_->NoteCacheHit();
+      return *hit;  // copy out of the shared entry
+    }
+    engine_->NoteCacheMiss();
+  }
+  // Only a miss needs an expander: batch-shared (built under the batch
+  // mutex; map references stay stable under later insertions, and Expand
+  // on the shared instance is const) or locally owned for singles.
+  const expansion::Expander* expander = nullptr;
+  std::unique_ptr<expansion::Expander> owned;
+  if (batch != nullptr) {
+    std::lock_guard<std::mutex> lock(batch->mu);
+    std::string config = resolved + overrides.ToKey();
+    auto it = batch->built.find(config);
+    if (it == batch->built.end()) {
+      it = batch->built
+               .emplace(std::move(config),
+                        engine_->BuildExpander(resolved, overrides))
+               .first;
+    }
+    if (!it->second.ok()) return it->second.status();
+    expander = it->second->get();
+  } else {
+    WQE_ASSIGN_OR_RETURN(owned, engine_->BuildExpander(resolved, overrides));
+    expander = owned.get();
+  }
+  WQE_ASSIGN_OR_RETURN(api::ExpandResponse response,
+                       engine_->ExpandWith(*expander, resolved, keywords));
+  if (cache_ != nullptr) cache_->Put(key, response);
+  return response;
+}
+
+Result<api::ExpandResponse> Server::ExpandOne(
+    const api::ExpandRequest& request) {
+  return ExpandResolved(engine_->ResolveStrategy(request.expander),
+                        request.keywords, request.overrides,
+                        /*expander=*/nullptr);
+}
+
+Result<api::QueryResponse> Server::QueryOne(const api::QueryRequest& request) {
+  WQE_ASSIGN_OR_RETURN(
+      api::ExpandResponse expansion,
+      ExpandResolved(engine_->ResolveStrategy(request.expander),
+                     request.keywords, request.overrides,
+                     /*expander=*/nullptr));
+  return engine_->QueryWithExpansion(std::move(expansion), request.top_k);
+}
+
+std::future<Result<api::QueryResponse>> Server::Submit(
+    api::QueryRequest request) {
+  ++stats_.requests;
+  return pool_.Submit(
+      [this, request = std::move(request)]() { return QueryOne(request); });
+}
+
+std::future<Result<api::ExpandResponse>> Server::SubmitExpand(
+    api::ExpandRequest request) {
+  ++stats_.requests;
+  return pool_.Submit(
+      [this, request = std::move(request)]() { return ExpandOne(request); });
+}
+
+template <typename Request, typename Response, typename Run>
+Result<std::vector<Response>> Server::RunBatch(
+    const std::vector<Request>& requests, const char* what, Run run) {
+  ++stats_.batches;
+  stats_.requests += requests.size();
+
+  // Phase 1 (caller thread): resolve names only.  Expanders are built
+  // lazily in the workers — at most one per distinct (strategy,
+  // overrides), the same amortization as Engine::ExpandBatch, but a
+  // fully cache-warm batch constructs nothing at all.
+  std::vector<std::string> resolved(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    resolved[i] = engine_->ResolveStrategy(requests[i].expander);
+  }
+
+  // Phase 2: fan out.  Tasks borrow `requests`/`resolved`/`expanders`;
+  // phase 3 waits on every future before this frame can unwind, so the
+  // borrows are safe even on failure.
+  BatchExpanders expanders;
+  std::vector<std::future<Result<Response>>> futures;
+  futures.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    futures.push_back(
+        pool_.Submit([&run, &requests, &resolved, &expanders, i]() {
+          return run(&expanders, resolved[i], requests[i]);
+        }));
+  }
+
+  // Phase 3: collect every result, then surface the lowest failing index
+  // (matching the sequential batch's first-error semantics — a bad
+  // config fails every request that uses it, so the lowest such index
+  // reports just as it would sequentially).
+  std::vector<Result<Response>> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  std::vector<Response> responses;
+  responses.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      return results[i].status().WithContext(std::string(what) +
+                                             " request #" + std::to_string(i));
+    }
+    responses.push_back(std::move(*results[i]));
+  }
+  return responses;
+}
+
+Result<std::vector<api::QueryResponse>> Server::QueryBatch(
+    const std::vector<api::QueryRequest>& requests) {
+  return RunBatch<api::QueryRequest, api::QueryResponse>(
+      requests, "QueryBatch",
+      [this](BatchExpanders* batch, const std::string& name,
+             const api::QueryRequest& request) -> Result<api::QueryResponse> {
+        WQE_ASSIGN_OR_RETURN(
+            api::ExpandResponse expansion,
+            ExpandResolved(name, request.keywords, request.overrides, batch));
+        return engine_->QueryWithExpansion(std::move(expansion),
+                                           request.top_k);
+      });
+}
+
+Result<std::vector<api::ExpandResponse>> Server::ExpandBatch(
+    const std::vector<api::ExpandRequest>& requests) {
+  return RunBatch<api::ExpandRequest, api::ExpandResponse>(
+      requests, "ExpandBatch",
+      [this](BatchExpanders* batch, const std::string& name,
+             const api::ExpandRequest& request)
+          -> Result<api::ExpandResponse> {
+        return ExpandResolved(name, request.keywords, request.overrides,
+                              batch);
+      });
+}
+
+}  // namespace wqe::serve

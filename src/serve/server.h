@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file server.h
+/// \brief The concurrent serving core: Engine + ThreadPool + ExpansionCache.
+///
+/// `api::Engine`'s serving calls are const and internally thread-safe, but
+/// the facade itself is sequential: a batch runs on the caller's thread and
+/// a repeated query re-runs linking and cycle enumeration from scratch.
+/// `serve::Server` wraps an engine with the two serving-side pieces:
+///
+///   - `Submit` / `SubmitExpand` enqueue one request on the worker pool
+///     and return a `std::future` for its `Result`;
+///   - `QueryBatch` / `ExpandBatch` fan a batch across the pool and block
+///     until every response is in, preserving input order, the engine's
+///     one-expander-per-distinct-config amortization, and its fail-atomic
+///     error contract ("request #i" contexts);
+///   - every expansion is served through a sharded LRU `ExpansionCache`
+///     keyed by `(keywords, resolved strategy, overrides)`, so repeated
+///     queries skip linking + enumeration entirely (hits/misses are
+///     recorded both here and in `EngineStats`).
+///
+/// Rankings are bit-identical to sequential `Engine::Query` calls: scoring
+/// is deterministic (ties break by DocId, see ir/scorer.h) and cached
+/// expansions are pure functions of their key over the immutable KB.
+///
+/// The wrapped engine's registry is frozen at construction
+/// (`Engine::LockRegistry`): registering strategies while workers resolve
+/// names is unsupported.
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/result.h"
+#include "serve/expansion_cache.h"
+#include "serve/thread_pool.h"
+
+namespace wqe::serve {
+
+/// \brief Serving configuration.
+struct ServerOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  size_t num_threads = 0;
+  /// Serve expansions through the cache (disable for e.g. A/B latency
+  /// measurements of the uncached path).
+  bool enable_cache = true;
+  ExpansionCacheOptions cache;
+};
+
+/// \brief Server-side counters (the engine and cache keep their own).
+struct ServerStats {
+  std::atomic<size_t> requests{0};  ///< singles + batched items accepted
+  std::atomic<size_t> batches{0};   ///< QueryBatch/ExpandBatch calls
+};
+
+/// \brief Concurrent front-end over one `api::Engine`.  Thread-safe: any
+/// thread may submit requests or batches concurrently.
+///
+/// Callers must not block inside pool tasks on work queued behind them;
+/// all Server entry points are safe to call from non-worker threads.
+class Server {
+ public:
+  /// \brief Wraps `engine` (borrowed; must outlive the server) and locks
+  /// its registry.
+  explicit Server(const api::Engine& engine, ServerOptions options = {});
+
+  /// \brief Drains in-flight work and joins the pool.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \name Asynchronous singles
+  /// @{
+  std::future<Result<api::QueryResponse>> Submit(api::QueryRequest request);
+  std::future<Result<api::ExpandResponse>> SubmitExpand(
+      api::ExpandRequest request);
+  /// @}
+
+  /// \name Parallel batches
+  /// Results arrive in input order; identical to `Engine::QueryBatch` /
+  /// `Engine::ExpandBatch` output for the same requests.  On any failing
+  /// request the whole batch fails (after in-flight work completes) with
+  /// the lowest failing index named in the error.
+  /// @{
+  Result<std::vector<api::QueryResponse>> QueryBatch(
+      const std::vector<api::QueryRequest>& requests);
+  Result<std::vector<api::ExpandResponse>> ExpandBatch(
+      const std::vector<api::ExpandRequest>& requests);
+  /// @}
+
+  /// \brief Stops accepting work, finishes what is queued, joins workers.
+  /// Idempotent; after shutdown, submissions are a programming error.
+  void Shutdown();
+
+  const api::Engine& engine() const { return *engine_; }
+  const ThreadPool& pool() const { return pool_; }
+  /// \brief Null when the cache is disabled.
+  const ExpansionCache* cache() const { return cache_.get(); }
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  /// One batch's shared expanders, keyed by (strategy, overrides) config
+  /// and built lazily under the mutex on the first cache miss that needs
+  /// each one — a fully warm batch constructs nothing.  Errored slots are
+  /// kept so every request on a bad config reports the same status.
+  struct BatchExpanders {
+    std::mutex mu;
+    std::map<std::string, Result<std::unique_ptr<expansion::Expander>>> built;
+  };
+
+  /// Serves one expansion: cache lookup first, then — on a miss — the
+  /// lazily-built shared expander from `batch`, or a locally built one
+  /// when `batch` is null (the single-request path).
+  Result<api::ExpandResponse> ExpandResolved(
+      const std::string& resolved, const std::string& keywords,
+      const api::ExpanderOverrides& overrides, BatchExpanders* batch);
+
+  Result<api::ExpandResponse> ExpandOne(const api::ExpandRequest& request);
+  Result<api::QueryResponse> QueryOne(const api::QueryRequest& request);
+
+  /// Shared batch skeleton: prepare shared expanders (caller thread), fan
+  /// out `run` per request (pool), collect in order, surface the first
+  /// error with `what` context.
+  template <typename Request, typename Response, typename Run>
+  Result<std::vector<Response>> RunBatch(const std::vector<Request>& requests,
+                                         const char* what, Run run);
+
+  const api::Engine* engine_;
+  ServerOptions options_;
+  std::unique_ptr<ExpansionCache> cache_;  ///< null when disabled
+  ThreadPool pool_;
+  mutable ServerStats stats_;
+};
+
+}  // namespace wqe::serve

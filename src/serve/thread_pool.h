@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool with task futures and graceful shutdown.
+///
+/// The serving layer's unit of concurrency: `serve::Server` fans batched
+/// requests across one of these.  Deliberately minimal — a mutex-guarded
+/// FIFO and `std::packaged_task` futures — because the tasks it runs
+/// (entity linking + cycle enumeration + retrieval) are milliseconds-long,
+/// so queue contention is noise.  Work-stealing deques and similar
+/// machinery (cf. the Galois runtime this subsystem is modeled after)
+/// only pay off for microsecond tasks.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace wqe::serve {
+
+/// \brief Fixed-size thread pool.  Thread-safe: any thread may Submit.
+class ThreadPool {
+ public:
+  /// \brief Starts `num_threads` workers; 0 means one per hardware thread
+  /// (at least one).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// \brief Graceful: drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues `fn` and returns a future for its result.  Submitting
+  /// after `Shutdown` is a programming error (checked).
+  ///
+  /// Tasks must not block on futures of tasks queued behind them (the
+  /// classic pool self-deadlock); the serving layer never does — workers
+  /// run leaf work only.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // shared_ptr because std::function requires copyable callables and
+    // packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      WQE_CHECK(!shutdown_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// \brief Stops accepting tasks, finishes everything already queued, and
+  /// joins the workers.  Idempotent and safe to call concurrently: every
+  /// caller returns only after the drain completes.  Called by the
+  /// destructor.
+  void Shutdown();
+
+  /// \brief Configured worker count (immutable — safe to read while
+  /// another thread shuts the pool down).
+  size_t num_threads() const { return num_threads_; }
+
+  /// \brief Tasks completed so far (monotonic).
+  size_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Tasks currently queued (diagnostic; racy by nature).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  /// Owned by construction and by Shutdown (itself serialized by
+  /// shutdown_mu_); never touched by workers.
+  std::vector<std::thread> workers_;
+  size_t num_threads_ = 0;
+  std::mutex shutdown_mu_;
+  bool shutdown_ = false;
+  std::atomic<size_t> tasks_executed_{0};
+};
+
+}  // namespace wqe::serve

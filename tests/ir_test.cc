@@ -245,6 +245,32 @@ TEST_F(ScoringTest, TopKTruncates) {
   EXPECT_EQ(results->size(), 1u);
 }
 
+// Regression for the serving layer's determinism contract (scorer.h): a
+// large all-tied candidate set must rank by ascending DocId, stay stable
+// across repeated evaluations, and cut deterministically when the top-k
+// boundary lands inside the tie group.  Parallel-vs-sequential ranking
+// equality in serve_test.cc is only well-defined because of this.
+TEST_F(ScoringTest, TieBreakIsStableAcrossRepeatedEvaluations) {
+  SearchEngine engine;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        engine.AddDocument("doc" + std::to_string(i), "gondola pier").ok());
+  }
+  ASSERT_TRUE(engine.Finalize().ok());
+  auto first = engine.SearchText("gondola", 25);  // cut inside the tie
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 25u);
+  for (size_t i = 1; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].score, (*first)[i - 1].score);
+    EXPECT_GT((*first)[i].doc, (*first)[i - 1].doc);
+  }
+  for (int round = 0; round < 3; ++round) {
+    auto again = engine.SearchText("gondola", 25);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *first) << "round " << round;
+  }
+}
+
 TEST(SearchEngineTest, LifecycleErrors) {
   SearchEngine engine;
   EXPECT_TRUE(engine.SearchText("x", 5).status().IsInvalidArgument());
