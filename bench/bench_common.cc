@@ -1,7 +1,10 @@
 #include "bench/bench_common.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -44,6 +47,33 @@ void AddEvaluationRow(const api::SystemEvaluation& eval,
                  FormatDouble(eval.mean_precision[3], 3),
                  FormatDouble(eval.mean_o, 3),
                  FormatDouble(eval.mean_features, 1)});
+}
+
+void BenchJsonWriter::Add(const std::string& name, const std::string& metric,
+                          double value, const std::string& config) {
+  WQE_CHECK(std::isfinite(value));
+  records_.push_back(Record{name, metric, value, config});
+}
+
+void BenchJsonWriter::Write() const {
+  const std::string path = "BENCH_" + bench_ + ".json";
+  std::ostringstream out;
+  out << "{\"bench\": \"" << bench_ << "\", \"results\": [";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    if (i > 0) out << ",";
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.17g", r.value);
+    out << "\n  {\"name\": \"" << r.name << "\", \"metric\": \"" << r.metric
+        << "\", \"value\": " << value << ", \"config\": \"" << r.config
+        << "\"}";
+  }
+  out << "\n]}\n";
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  WQE_CHECK(file.good());
+  file << out.str();
+  WQE_CHECK(file.good());
+  WQE_LOG(Info) << "bench results written to " << path;
 }
 
 std::vector<uint32_t> ZipfianRequestMix(size_t count, uint32_t num_distinct,

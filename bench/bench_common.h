@@ -13,6 +13,8 @@
 ///   WQE_BENCH_SEED     — generator seed (default 42)
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "analysis/paper_report.h"
 #include "analysis/query_graph_analysis.h"
@@ -52,6 +54,40 @@ api::TestbedOptions BenchTestbedOptions();
 /// system name.
 void AddEvaluationRow(const api::SystemEvaluation& eval,
                       const std::string& label, TablePrinter* table);
+
+/// \brief Machine-readable perf-bench output: collects (name, metric,
+/// value, config) records and writes them as `BENCH_<bench>.json` in the
+/// current directory, alongside whatever table the bench prints.  The CI
+/// bench-smoke job (and any cross-PR perf tracking) parses these files —
+/// one JSON object with a `results` array:
+///
+///   {"bench": "perf_x", "results": [
+///     {"name": "...", "metric": "total_ms", "value": 12.5, "config": "..."}]}
+///
+/// Strings must be ASCII without quotes/backslashes (names are code
+/// constants); values are finite doubles.
+class BenchJsonWriter {
+ public:
+  /// \brief `bench` names the output file `BENCH_<bench>.json`.
+  explicit BenchJsonWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& name, const std::string& metric, double value,
+           const std::string& config);
+
+  /// \brief Writes the file; aborts on IO failure (benches have no
+  /// degraded mode).  Call once, at the end of main.
+  void Write() const;
+
+ private:
+  struct Record {
+    std::string name;
+    std::string metric;
+    double value;
+    std::string config;
+  };
+  std::string bench_;
+  std::vector<Record> records_;
+};
 
 /// \brief A deterministic Zipfian request mix: `count` draws from
 /// `[0, num_distinct)` with rank-frequency exponent `s` (rank 0 most

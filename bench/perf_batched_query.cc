@@ -92,5 +92,17 @@ int main() {
   std::printf("\nrankings identical across %zu topics; batch amortizes "
               "strategy setup %zux\n",
               sequential.size(), sequential_constructed);
+
+  const std::string config = "topics=" + std::to_string(requests.size());
+  bench::BenchJsonWriter json("perf_batched_query");
+  json.Add("sequential_query", "total_ms", sequential_ms, config);
+  json.Add("sequential_query", "expanders_constructed",
+           static_cast<double>(sequential_constructed), config);
+  json.Add("query_batch", "total_ms", batch_ms, config);
+  json.Add("query_batch", "expanders_constructed",
+           static_cast<double>(batch_constructed), config);
+  json.Add("query_batch", "speedup_vs_sequential", sequential_ms / batch_ms,
+           config);
+  json.Write();
   return 0;
 }

@@ -84,6 +84,10 @@ int main() {
   };
   add_row("Engine::QueryBatch (seq)", 1, sequential_ms);
 
+  const std::string config = "requests=" + std::to_string(n);
+  bench::BenchJsonWriter json("perf_parallel_serving");
+  json.Add("engine_query_batch", "total_ms", sequential_ms, config);
+
   // Thread-pool scaling, cache off: same work, more workers.
   double one_thread_ms = 0.0;
   double four_thread_ms = 0.0;
@@ -98,6 +102,8 @@ int main() {
     WQE_CHECK_OK(parallel.status());
     CheckIdenticalRankings(*parallel, *sequential);
     add_row("serve::Server::QueryBatch", threads, ms);
+    json.Add("server_query_batch_t" + std::to_string(threads), "total_ms", ms,
+             config);
     if (threads == 1) one_thread_ms = ms;
     if (threads == 4) four_thread_ms = ms;
   }
@@ -160,5 +166,11 @@ int main() {
     std::printf("(< 4 hardware threads: the >= 2x acceptance check is "
                 "skipped on this machine)\n");
   }
+
+  json.Add("cached_server_cold", "total_ms", cold_ms, config);
+  json.Add("cached_server_warm", "total_ms", warm_ms, config);
+  json.Add("cached_server_warm", "hit_ratio", warm_ratio, config);
+  json.Add("server_query_batch_t4", "speedup_vs_t1", speedup, config);
+  json.Write();
   return 0;
 }

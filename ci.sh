@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
 # CI entry point: tier-1 verify with warnings-as-errors on the library,
+# a Release bench smoke (benches must run and emit valid BENCH_*.json),
 # then the serve/ concurrency suite under ThreadSanitizer.
 # Mirrors .github/workflows/ci.yml so the same checks run locally.
 set -eux
@@ -7,6 +8,32 @@ set -eux
 cmake -B build -S . -DWQE_WERROR=ON
 cmake --build build -j
 cd build && ctest --output-on-failure -j
+cd ..
+
+# Bench smoke: Release tree (the perf numbers people quote), smallest
+# cycle-enumeration configs, hard-failing on crash or malformed JSON so
+# the perf benches and their machine-readable output can't silently rot.
+cmake -B build-bench -S . -DWQE_WERROR=ON -DCMAKE_BUILD_TYPE=Release \
+  -DWQE_BUILD_TESTS=OFF -DWQE_BUILD_EXAMPLES=OFF
+cmake --build build-bench -j --target wqe_bench_perf_cycle_enumeration
+cd build-bench
+./wqe_bench_perf_cycle_enumeration \
+  --benchmark_filter='BM_CycleEnumerationBall(Legacy)?/3/100$' \
+  --benchmark_min_time=0.05
+python3 - <<'EOF'
+import json
+with open('BENCH_perf_cycle_enumeration.json') as f:
+    data = json.load(f)
+assert data['bench'] == 'perf_cycle_enumeration', data
+results = data['results']
+assert results, 'bench emitted no results'
+for r in results:
+    assert set(r) == {'name', 'metric', 'value', 'config'}, r
+    assert isinstance(r['value'], (int, float)), r
+assert any(r['metric'] == 'speedup_vs_legacy' for r in results), \
+    'missing CSR-vs-legacy speedup record'
+print(f'bench smoke OK: {len(results)} records')
+EOF
 cd ..
 
 # ThreadSanitizer pass over the concurrency subsystem (tests only; the

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
             << wiki->kb.num_redirects() << " redirects, "
             << wiki->kb.graph().num_edges() << " edges\n";
   std::cout << "reciprocal link-pair rate: "
-            << graph::ReciprocalLinkRate(wiki->kb.graph())
+            << graph::ReciprocalLinkRate(wiki->kb.Freeze())
             << " (Wikipedia per the paper: 0.1147)\n";
 
   // Export.

@@ -289,7 +289,7 @@ MiscScalars ComputeMiscScalars(const groundtruth::Pipeline& pipeline,
   scalars.mean_largest_cc_tpr = Mean(tprs);
   scalars.mean_graph_size = Mean(sizes);
   scalars.reciprocal_link_rate =
-      graph::ReciprocalLinkRate(pipeline.kb().graph());
+      graph::ReciprocalLinkRate(pipeline.kb().csr());
   return scalars;
 }
 

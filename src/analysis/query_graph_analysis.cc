@@ -26,25 +26,28 @@ Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
   // from its position in this (possibly partial) ground truth.
   const size_t track_index = entry.topic_index;
   const groundtruth::QueryGraph& qg = entry.graph;
-  const graph::PropertyGraph& g = qg.sub.graph;
+  // The query graph's structure is analyzed as an induced slice of the
+  // KB's frozen snapshot — no per-topic adjacency re-materialization; the
+  // view's locals map straight back to KB node ids.
+  const graph::CsrGraph& csr = pipeline_->kb().csr();
+  graph::UndirectedView view(csr, qg.sub.to_parent);
 
   TopicAnalysis out;
   out.topic_index = topic_index;
 
   // --- Largest connected component (Table 3). ---
-  graph::UndirectedView view(g);
   graph::ComponentsResult comps = graph::ConnectedComponents(view);
-  out.component.graph_size = g.num_nodes();
+  out.component.graph_size = view.num_nodes();
   out.component.num_components = comps.num_components();
-  if (g.num_nodes() > 0 && comps.num_components() > 0) {
+  if (view.num_nodes() > 0 && comps.num_components() > 0) {
     std::vector<uint32_t> cc = comps.LargestComponent();
     std::unordered_set<uint32_t> cc_set(cc.begin(), cc.end());
-    out.component.relative_size =
-        static_cast<double>(cc.size()) / static_cast<double>(g.num_nodes());
+    out.component.relative_size = static_cast<double>(cc.size()) /
+                                  static_cast<double>(view.num_nodes());
 
     size_t articles = 0, categories = 0;
     for (uint32_t local : cc) {
-      if (g.IsArticle(local)) {
+      if (view.kind(local) == graph::NodeKind::kArticle) {
         ++articles;
       } else {
         ++categories;
@@ -56,7 +59,7 @@ Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
         static_cast<double>(categories) / static_cast<double>(cc.size());
 
     size_t query_in_cc = 0;
-    for (NodeId q : qg.LocalQueryArticles()) {
+    for (NodeId q : qg.query_articles) {
       uint32_t local = view.ToLocal(q);
       if (local != UINT32_MAX && cc_set.count(local)) ++query_in_cc;
     }
@@ -68,9 +71,7 @@ Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
 
     size_t expansion_in_cc = 0;
     for (NodeId a : qg.expansion_articles) {
-      NodeId local_node = qg.sub.Local(a);
-      if (local_node == graph::kInvalidNode) continue;
-      uint32_t local = view.ToLocal(local_node);
+      uint32_t local = view.ToLocal(a);
       if (local != UINT32_MAX && cc_set.count(local)) ++expansion_in_cc;
     }
     out.component.expansion_ratio =
@@ -84,7 +85,7 @@ Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
   graph::CycleEnumerationOptions cycle_options;
   cycle_options.min_length = kMinCycleLength;
   cycle_options.max_length = kMaxCycleLength;
-  cycle_options.seeds = qg.LocalQueryArticles();
+  cycle_options.seeds = qg.query_articles;
   graph::CycleEnumerator enumerator(view);
   std::vector<graph::Cycle> cycles = enumerator.Enumerate(cycle_options);
 
@@ -100,15 +101,14 @@ Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
   size_t scored = 0;
   for (graph::Cycle& cycle : cycles) {
     CycleRecord record;
-    // Map local ids back to KB ids.
-    for (NodeId& n : cycle.nodes) n = qg.sub.to_parent[n];
-    record.metrics = ComputeCycleMetrics(pipeline_->kb().graph(), cycle);
+    // The view's globals are KB node ids already.
+    record.metrics = ComputeCycleMetrics(csr, cycle);
 
     // Articles of this cycle (KB ids), for Table 4's length buckets.
     std::vector<NodeId> cycle_articles;
     bool introduces_feature = false;
     for (NodeId n : cycle.nodes) {
-      if (!pipeline_->kb().graph().IsArticle(n)) continue;
+      if (!csr.IsArticle(n)) continue;
       cycle_articles.push_back(n);
       if (std::find(entry.query_articles.begin(), entry.query_articles.end(),
                     n) == entry.query_articles.end()) {

@@ -25,6 +25,10 @@ Result<std::unique_ptr<Engine>> Engine::Build(wiki::KnowledgeBase kb,
   std::unique_ptr<Engine> engine(new Engine());
   engine->options_ = std::move(options);
   engine->kb_ = std::move(kb);
+  // One-way bridge: compile the structural snapshot every expander (and
+  // thus every serving thread) will share.  After this the KB topology is
+  // immutable for the engine's lifetime.
+  engine->kb_.Freeze();
   engine->linker_ = std::make_unique<linking::EntityLinker>(
       &engine->kb_, engine->options_.linker);
   engine->search_ =

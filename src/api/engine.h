@@ -101,9 +101,11 @@ struct EngineStats {
 /// added until `FinalizeIndex`); all serving calls are const.
 class Engine {
  public:
-  /// \brief Takes ownership of `kb`, builds the linker, the retrieval
-  /// engine and the built-in registry, and validates the options (the
-  /// default strategy must resolve).
+  /// \brief Takes ownership of `kb`, freezes it into its immutable
+  /// `graph::CsrGraph` snapshot (shared by every expander and worker
+  /// thread — see graph/csr.h), builds the linker, the retrieval engine
+  /// and the built-in registry, and validates the options (the default
+  /// strategy must resolve).
   static Result<std::unique_ptr<Engine>> Build(wiki::KnowledgeBase kb,
                                                EngineOptions options = {});
 

@@ -66,27 +66,38 @@ bool Rng::Bernoulli(double p) { return NextDouble() < p; }
 uint32_t Rng::Zipf(uint32_t n, double s) {
   WQE_CHECK(n > 0);
   if (n == 1) return 0;
-  // Rejection-inversion sampling (Hormann & Derflinger) for a Zipf law on
-  // ranks 1..n; returned 0-based.
+  // Rejection-inversion sampling (Hormann & Derflinger 1996) for a Zipf
+  // law p(k) ∝ k^-s on ranks 1..n; returned 0-based.
+  //
+  // H(x) = ∫ t^-s dt = (x^(1-s) − 1)/(1−s)  (log x at s = 1) dominates the
+  // rank probabilities: u is drawn uniformly from (H(n+0.5), H(1.5) − 1],
+  // x = H⁻¹(u) is rounded to the candidate rank k, and the candidate is
+  // *accepted* when u ≥ H(k+0.5) − k^-s — the sub-interval of measure
+  // exactly k^-s — which yields p(k) ∝ k^-s with no clamping bias.  The
+  // H(1.5) − 1 lower bound extends rank 1's interval so its accepted
+  // measure is exactly 1 = 1^-s.  (The seed implementation sampled from
+  // H(0.5) − 1 and *rejected* on the ≥ test, which inverted the law and
+  // put ~99% of the mass on rank 0.)
   const double sm1 = 1.0 - s;
-  auto h = [&](double x) {
-    if (std::abs(sm1) < 1e-12) return std::log(x);
-    return std::pow(x, sm1) / sm1;
+  const bool log_form = std::abs(sm1) < 1e-12;
+  auto h_integral = [&](double x) {
+    double lx = std::log(x);
+    if (log_form) return lx;
+    return std::expm1(sm1 * lx) / sm1;
   };
-  auto h_inv = [&](double x) {
-    if (std::abs(sm1) < 1e-12) return std::exp(x);
-    return std::pow(sm1 * x, 1.0 / sm1);
+  auto h_integral_inv = [&](double x) {
+    if (log_form) return std::exp(x);
+    return std::exp(std::log1p(sm1 * x) / sm1);
   };
-  const double hx0 = h(0.5) - 1.0;
-  const double hn = h(n + 0.5);
+  const double lo = h_integral(1.5) - 1.0;
+  const double hi = h_integral(n + 0.5);
   for (;;) {
-    double u = hx0 + NextDouble() * (hn - hx0);
-    double x = h_inv(u);
+    double u = lo + NextDouble() * (hi - lo);
+    double x = h_integral_inv(u);
     uint32_t k = static_cast<uint32_t>(x + 0.5);
     if (k < 1) k = 1;
     if (k > n) k = n;
-    if (u >= h(k + 0.5) - std::pow(k, -s)) continue;
-    return k - 1;
+    if (u >= h_integral(k + 0.5) - std::pow(k, -s)) return k - 1;
   }
 }
 

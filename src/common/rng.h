@@ -41,11 +41,12 @@ class Rng {
   /// \brief Bernoulli trial with probability `p` of true.
   bool Bernoulli(double p);
 
-  /// \brief Zipf-distributed integer in `[0, n)` with exponent `s`.
+  /// \brief Zipf-distributed integer in `[0, n)` with exponent `s`:
+  /// p(rank r) ∝ 1/(r+1)^s.  Rejection-inversion sampling (Hormann &
+  /// Derflinger), O(1) per draw independent of `n`.
   ///
   /// Used to give the synthetic Wikipedia its heavy-tailed degree
-  /// distribution. Implemented by inverse-CDF over precomputed weights for
-  /// small n, rejection sampling for large n.
+  /// distribution.
   uint32_t Zipf(uint32_t n, double s);
 
   /// \brief Gaussian sample via Box–Muller.

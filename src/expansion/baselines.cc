@@ -29,8 +29,7 @@ Result<std::vector<NodeId>> DirectLinkExpansion::SelectFeatures(
   for (NodeId q : query_articles) {
     for (NodeId out : kb().LinkedFrom(q)) {
       if (query_set.count(out) || !seen.insert(out).second) continue;
-      bool mutual =
-          kb().graph().HasEdge(out, q, graph::EdgeKind::kLink);
+      bool mutual = kb().csr().HasEdge(out, q, graph::EdgeKind::kLink);
       candidates.push_back(Candidate{out, mutual, candidates.size()});
     }
   }
@@ -52,7 +51,7 @@ Result<std::vector<NodeId>> CommunityExpansion::SelectFeatures(
     const std::vector<NodeId>& query_articles) const {
   std::vector<NodeId> ball = kb().Neighborhood(
       query_articles, options_.neighborhood_radius, options_.max_neighborhood);
-  graph::UndirectedView view(kb().graph(), ball);
+  graph::UndirectedView view(kb().csr(), ball);
 
   std::unordered_set<uint32_t> query_local;
   for (NodeId q : query_articles) {
@@ -71,7 +70,7 @@ Result<std::vector<NodeId>> CommunityExpansion::SelectFeatures(
         for (uint32_t corner : {nq[i], nq[j]}) {
           if (query_local.count(corner)) continue;
           NodeId global = view.ToGlobal(corner);
-          if (!kb().graph().IsArticle(global)) continue;
+          if (!kb().csr().IsArticle(global)) continue;
           support[global] += 1.0;
         }
       }

@@ -29,12 +29,16 @@ bool CycleExpander::AcceptsCycle(const graph::CycleMetrics& metrics) const {
 
 Result<std::vector<NodeId>> CycleExpander::SelectFeatures(
     const std::vector<NodeId>& query_articles) const {
+  // The engine freezes the KB at build time; every request slices the same
+  // shared snapshot — no per-request adjacency re-materialization.
+  const graph::CsrGraph& csr = kb().csr();
+
   // 1. Neighborhood ball.
   std::vector<NodeId> ball = kb().Neighborhood(
       query_articles, options_.neighborhood_radius, options_.max_neighborhood);
 
   // 2. Cycles through a query article.
-  graph::UndirectedView view(kb().graph(), ball);
+  graph::UndirectedView view(csr, ball);
   graph::CycleEnumerationOptions enum_options;
   enum_options.min_length = options_.min_cycle_length;
   enum_options.max_length = options_.max_cycle_length;
@@ -52,15 +56,14 @@ Result<std::vector<NodeId>> CycleExpander::SelectFeatures(
     graph::Cycle cycle;
     cycle.nodes.reserve(local.size());
     for (uint32_t l : local) cycle.nodes.push_back(view.ToGlobal(l));
-    graph::CycleMetrics metrics =
-        graph::ComputeCycleMetrics(kb().graph(), cycle);
+    graph::CycleMetrics metrics = graph::ComputeCycleMetrics(csr, cycle);
     if (!AcceptsCycle(metrics)) return true;
 
     double quality = metrics.length == 2
                          ? options_.two_cycle_weight
                          : 1.0 + metrics.extra_edge_density;
     for (NodeId n : cycle.nodes) {
-      if (!kb().graph().IsArticle(n)) continue;
+      if (!csr.IsArticle(n)) continue;
       if (std::find(query_articles.begin(), query_articles.end(), n) !=
           query_articles.end()) {
         continue;

@@ -1,0 +1,136 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace wqe::graph {
+
+namespace {
+
+/// Sort key for one directed CSR row entry.
+struct RowEntry {
+  NodeId node;
+  EdgeKind kind;
+
+  bool operator<(const RowEntry& other) const {
+    if (node != other.node) return node < other.node;
+    return static_cast<uint8_t>(kind) < static_cast<uint8_t>(other.kind);
+  }
+};
+
+/// Appends `row` (sorted by (node, kind)) to the flat arrays.
+void AppendRow(std::vector<RowEntry>* row, std::vector<NodeId>* nodes,
+               std::vector<EdgeKind>* kinds, std::vector<uint64_t>* offsets) {
+  std::sort(row->begin(), row->end());
+  for (const RowEntry& e : *row) {
+    nodes->push_back(e.node);
+    kinds->push_back(e.kind);
+  }
+  offsets->push_back(nodes->size());
+  row->clear();
+}
+
+}  // namespace
+
+CsrGraph CsrGraph::Freeze(const PropertyGraph& builder) {
+  CsrGraph g;
+  const uint32_t n = static_cast<uint32_t>(builder.num_nodes());
+
+  g.kinds_.reserve(n);
+  g.redirect_target_.assign(n, kInvalidNode);
+  for (NodeId u = 0; u < n; ++u) {
+    NodeKind kind = builder.kind(u);
+    g.kinds_.push_back(kind);
+    ++g.node_kind_counts_[static_cast<size_t>(kind)];
+  }
+  for (int k = 0; k < 4; ++k) {
+    g.edge_kind_counts_[k] = builder.CountEdges(static_cast<EdgeKind>(k));
+  }
+
+  // --- Directed CSR, each row sorted by (target, kind). ---
+  g.out_offsets_.reserve(n + 1);
+  g.in_offsets_.reserve(n + 1);
+  g.out_offsets_.push_back(0);
+  g.in_offsets_.push_back(0);
+  g.out_targets_.reserve(builder.num_edges());
+  g.out_kinds_.reserve(builder.num_edges());
+  g.in_sources_.reserve(builder.num_edges());
+  g.in_kinds_.reserve(builder.num_edges());
+  std::vector<RowEntry> row;
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Edge& e : builder.OutEdges(u)) {
+      row.push_back({e.dst, e.kind});
+      if (e.kind == EdgeKind::kRedirect &&
+          g.redirect_target_[u] == kInvalidNode) {
+        g.redirect_target_[u] = e.dst;
+      }
+    }
+    AppendRow(&row, &g.out_targets_, &g.out_kinds_, &g.out_offsets_);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Edge& e : builder.InEdges(u)) {
+      row.push_back({e.dst, e.kind});  // e.dst is the *source* in in-lists
+    }
+    AppendRow(&row, &g.in_sources_, &g.in_kinds_, &g.in_offsets_);
+  }
+
+  // --- Undirected CSR (redirects excluded): merge the two sorted rows of
+  // every node, counting parallel edges per distinct neighbor. ---
+  g.und_offsets_.reserve(n + 1);
+  g.und_offsets_.push_back(0);
+  for (NodeId u = 0; u < n; ++u) {
+    std::span<const NodeId> out = g.OutTargets(u);
+    std::span<const EdgeKind> out_kinds = g.OutKinds(u);
+    std::span<const NodeId> in = g.InSources(u);
+    std::span<const EdgeKind> in_kinds = g.InKinds(u);
+    size_t i = 0, j = 0;
+    auto skip_redirects = [&] {
+      while (i < out.size() && out_kinds[i] == EdgeKind::kRedirect) ++i;
+      while (j < in.size() && in_kinds[j] == EdgeKind::kRedirect) ++j;
+    };
+    skip_redirects();
+    while (i < out.size() || j < in.size()) {
+      NodeId next;
+      if (j >= in.size() || (i < out.size() && out[i] <= in[j])) {
+        next = out[i];
+      } else {
+        next = in[j];
+      }
+      uint32_t mult = 0;
+      while (i < out.size() && out[i] == next) {
+        if (out_kinds[i] != EdgeKind::kRedirect) ++mult;
+        ++i;
+      }
+      while (j < in.size() && in[j] == next) {
+        if (in_kinds[j] != EdgeKind::kRedirect) ++mult;
+        ++j;
+      }
+      if (mult > 0) {
+        g.und_neighbors_.push_back(next);
+        g.und_mult_.push_back(mult);
+      }
+      skip_redirects();
+    }
+    g.und_offsets_.push_back(g.und_neighbors_.size());
+  }
+  return g;
+}
+
+bool CsrGraph::HasEdge(NodeId src, NodeId dst, EdgeKind kind) const {
+  if (src >= num_nodes() || dst >= num_nodes()) return false;
+  std::span<const NodeId> targets = OutTargets(src);
+  std::span<const EdgeKind> kinds = OutKinds(src);
+  auto it = std::lower_bound(targets.begin(), targets.end(), dst);
+  for (; it != targets.end() && *it == dst; ++it) {
+    if (kinds[static_cast<size_t>(it - targets.begin())] == kind) return true;
+  }
+  return false;
+}
+
+uint32_t CsrGraph::UndMultiplicity(NodeId u, NodeId v) const {
+  std::span<const NodeId> neigh = UndNeighbors(u);
+  auto it = std::lower_bound(neigh.begin(), neigh.end(), v);
+  if (it == neigh.end() || *it != v) return 0;
+  return UndMultiplicities(u)[static_cast<size_t>(it - neigh.begin())];
+}
+
+}  // namespace wqe::graph

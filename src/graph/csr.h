@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file csr.h
+/// \brief Immutable CSR (compressed sparse row) snapshot of a
+/// `PropertyGraph` — the frozen core every structural algorithm runs on.
+///
+/// `PropertyGraph` is the mutable *builder*: append-only, schema-checked,
+/// backed by one `std::vector<Edge>` per node.  `CsrGraph::Freeze` is the
+/// one-way bridge to the serving representation: flat `offsets[]` /
+/// `targets[]` arrays per direction with edge kinds in a parallel array,
+/// neighbor ranges sorted by (target, kind) so `HasEdge` is a binary
+/// search, and a precomputed *undirected* CSR (redirect edges excluded,
+/// per the paper's §4 remark that redirects never close a cycle) carrying
+/// the parallel-edge multiplicity of every adjacent pair.
+///
+/// A snapshot is fully self-contained — it copies node kinds and never
+/// points back into the builder — so it can be moved freely and shared
+/// read-only across any number of serving threads.  Labels stay on the
+/// builder (`wiki::KnowledgeBase` keeps both and hands out the snapshot
+/// through `csr()`).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wqe::graph {
+
+/// \brief Frozen flat-adjacency snapshot of a `PropertyGraph`.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// \brief Builds the snapshot.  O(V + E log max_degree); the builder is
+  /// left untouched and may keep growing — the snapshot will not see later
+  /// mutations (callers that need coherence gate mutation themselves, as
+  /// `wiki::KnowledgeBase` does).
+  static CsrGraph Freeze(const PropertyGraph& builder);
+
+  /// \name Nodes
+  /// @{
+  uint32_t num_nodes() const { return static_cast<uint32_t>(kinds_.size()); }
+  NodeKind kind(NodeId n) const { return kinds_[n]; }
+  bool IsArticle(NodeId n) const { return kinds_[n] == NodeKind::kArticle; }
+  bool IsCategory(NodeId n) const { return kinds_[n] == NodeKind::kCategory; }
+  size_t CountNodes(NodeKind kind) const {
+    return node_kind_counts_[static_cast<size_t>(kind)];
+  }
+  /// @}
+
+  /// \name Directed adjacency (sorted by (target, kind))
+  /// @{
+  size_t num_edges() const { return out_targets_.size(); }
+  size_t CountEdges(EdgeKind kind) const {
+    return edge_kind_counts_[static_cast<size_t>(kind)];
+  }
+
+  std::span<const NodeId> OutTargets(NodeId n) const {
+    return Row(out_targets_, out_offsets_, n);
+  }
+  std::span<const EdgeKind> OutKinds(NodeId n) const {
+    return Row(out_kinds_, out_offsets_, n);
+  }
+  /// \brief Sources of the edges pointing *at* `n`.
+  std::span<const NodeId> InSources(NodeId n) const {
+    return Row(in_sources_, in_offsets_, n);
+  }
+  std::span<const EdgeKind> InKinds(NodeId n) const {
+    return Row(in_kinds_, in_offsets_, n);
+  }
+  size_t OutDegree(NodeId n) const {
+    return out_offsets_[n + 1] - out_offsets_[n];
+  }
+  size_t InDegree(NodeId n) const {
+    return in_offsets_[n + 1] - in_offsets_[n];
+  }
+
+  /// \brief True when the directed edge (src, dst, kind) exists.  Binary
+  /// search over the sorted out-row of `src`.
+  bool HasEdge(NodeId src, NodeId dst, EdgeKind kind) const;
+
+  /// \brief Target of `n`'s redirect out-edge, or `kInvalidNode` when `n`
+  /// carries none.  Precomputed at freeze time (O(1) lookup).
+  NodeId RedirectTarget(NodeId n) const { return redirect_target_[n]; }
+  /// @}
+
+  /// \name Undirected structural adjacency (redirects excluded)
+  ///
+  /// Distinct neighbors in ascending order; `UndMultiplicities` is the
+  /// parallel array of per-pair parallel-edge counts (both directions, all
+  /// kinds except redirect).  This is the whole-graph replacement for the
+  /// per-query `UndirectedView` rebuild — induced subsets slice these rows
+  /// (see undirected_view.h).
+  /// @{
+  std::span<const NodeId> UndNeighbors(NodeId n) const {
+    return Row(und_neighbors_, und_offsets_, n);
+  }
+  std::span<const uint32_t> UndMultiplicities(NodeId n) const {
+    return Row(und_mult_, und_offsets_, n);
+  }
+  size_t UndDegree(NodeId n) const {
+    return und_offsets_[n + 1] - und_offsets_[n];
+  }
+  /// \brief Parallel-edge multiplicity of (u, v); 0 when not adjacent.
+  uint32_t UndMultiplicity(NodeId u, NodeId v) const;
+  bool HasUndEdge(NodeId u, NodeId v) const { return UndMultiplicity(u, v) > 0; }
+  /// \brief Number of adjacent unordered pairs (multiplicity collapsed).
+  size_t num_und_pairs() const { return und_neighbors_.size() / 2; }
+  /// @}
+
+ private:
+  template <typename T>
+  static std::span<const T> Row(const std::vector<T>& data,
+                                const std::vector<uint64_t>& offsets,
+                                NodeId n) {
+    return std::span<const T>(data.data() + offsets[n],
+                              data.data() + offsets[n + 1]);
+  }
+
+  std::vector<NodeKind> kinds_;
+  std::vector<NodeId> redirect_target_;
+
+  std::vector<uint64_t> out_offsets_;  // size num_nodes() + 1
+  std::vector<NodeId> out_targets_;
+  std::vector<EdgeKind> out_kinds_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<NodeId> in_sources_;
+  std::vector<EdgeKind> in_kinds_;
+
+  std::vector<uint64_t> und_offsets_;
+  std::vector<NodeId> und_neighbors_;
+  std::vector<uint32_t> und_mult_;
+
+  std::array<size_t, 4> edge_kind_counts_{};
+  std::array<size_t, 2> node_kind_counts_{};
+};
+
+}  // namespace wqe::graph

@@ -2,29 +2,28 @@
 
 #include <algorithm>
 
-#include <unordered_map>
-#include <unordered_set>
-
 namespace wqe::graph {
 
-uint32_t CountInducedEdges(const PropertyGraph& graph,
+uint32_t CountInducedEdges(const CsrGraph& graph,
                            const std::vector<NodeId>& nodes) {
-  std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
-  // Category-category (`inside`) edges count once per *unordered* pair,
-  // matching M(C)'s C·(C−1)/2 term; article links count per direction.
-  std::unordered_set<uint64_t> category_pairs;
+  std::vector<NodeId> members(nodes);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+
   uint32_t count = 0;
-  for (NodeId u : in_set) {
-    for (const Edge& e : graph.OutEdges(u)) {
-      if (e.kind == EdgeKind::kRedirect) continue;
-      if (!in_set.count(e.dst)) continue;
-      if (e.kind == EdgeKind::kInside) {
-        NodeId lo = std::min(u, e.dst);
-        NodeId hi = std::max(u, e.dst);
-        if (!category_pairs.insert((static_cast<uint64_t>(lo) << 32) | hi)
-                 .second) {
-          continue;
-        }
+  for (NodeId u : members) {
+    std::span<const NodeId> targets = graph.OutTargets(u);
+    std::span<const EdgeKind> kinds = graph.OutKinds(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (kinds[i] == EdgeKind::kRedirect) continue;
+      NodeId v = targets[i];
+      if (!std::binary_search(members.begin(), members.end(), v)) continue;
+      // Category-category (`inside`) edges count once per *unordered* pair,
+      // matching M(C)'s C·(C−1)/2 term; article links count per direction.
+      // When both directions exist, the (u < v) one claims the pair.
+      if (kinds[i] == EdgeKind::kInside && u > v &&
+          graph.HasEdge(v, u, EdgeKind::kInside)) {
+        continue;
       }
       ++count;
     }
@@ -38,8 +37,7 @@ uint32_t MaxCycleEdges(uint32_t num_articles, uint32_t num_categories) {
          num_categories * (num_categories - (num_categories > 0 ? 1 : 0)) / 2;
 }
 
-CycleMetrics ComputeCycleMetrics(const PropertyGraph& graph,
-                                 const Cycle& cycle) {
+CycleMetrics ComputeCycleMetrics(const CsrGraph& graph, const Cycle& cycle) {
   CycleMetrics m;
   m.length = cycle.length();
   for (NodeId n : cycle.nodes) {
@@ -67,26 +65,28 @@ CycleMetrics ComputeCycleMetrics(const PropertyGraph& graph,
   return m;
 }
 
-double ReciprocalLinkRate(const PropertyGraph& graph) {
-  // Key: unordered article pair packed into 64 bits; value: direction bits.
-  std::unordered_map<uint64_t, uint8_t> pairs;
+double ReciprocalLinkRate(const CsrGraph& graph) {
+  size_t pairs = 0;
+  size_t mutual = 0;
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     if (!graph.IsArticle(u)) continue;
-    for (const Edge& e : graph.OutEdges(u)) {
-      if (e.kind != EdgeKind::kLink) continue;
-      NodeId lo = std::min(u, e.dst);
-      NodeId hi = std::max(u, e.dst);
-      uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
-      pairs[key] |= (u == lo) ? 1 : 2;
+    std::span<const NodeId> targets = graph.OutTargets(u);
+    std::span<const EdgeKind> kinds = graph.OutKinds(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (kinds[i] != EdgeKind::kLink) continue;
+      NodeId v = targets[i];
+      bool reverse = graph.HasEdge(v, u, EdgeKind::kLink);
+      if (v > u) {
+        ++pairs;
+        if (reverse) ++mutual;
+      } else if (!reverse) {
+        // Pair not seen from v's (smaller-id) side: count it here.
+        ++pairs;
+      }
     }
   }
-  if (pairs.empty()) return 0.0;
-  size_t mutual = 0;
-  for (const auto& [key, bits] : pairs) {
-    (void)key;
-    if (bits == 3) ++mutual;
-  }
-  return static_cast<double>(mutual) / static_cast<double>(pairs.size());
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(mutual) / static_cast<double>(pairs);
 }
 
 }  // namespace wqe::graph

@@ -13,10 +13,15 @@
 ///    category pair);
 ///  - category ratio = C(C) / |C| (Figure 7a);
 ///  - density of extra edges = (E(C) − |C|) / (M(C) − |C|) (Figure 7b/9).
+///
+/// All measurements read the frozen `CsrGraph` snapshot: membership tests
+/// are binary searches over the cycle's (tiny, sorted) node set and edge
+/// probes are sorted-row lookups — no per-cycle hash sets.
 
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/cycles.h"
 #include "graph/graph.h"
 
@@ -33,13 +38,12 @@ struct CycleMetrics {
   double extra_edge_density = 0.0;
 };
 
-/// \brief Computes all metrics of `cycle` against its parent graph.
-CycleMetrics ComputeCycleMetrics(const PropertyGraph& graph,
-                                 const Cycle& cycle);
+/// \brief Computes all metrics of `cycle` against its parent snapshot.
+CycleMetrics ComputeCycleMetrics(const CsrGraph& graph, const Cycle& cycle);
 
 /// \brief E(C): edges of `graph` with both endpoints in `nodes`, redirects
 /// excluded.  Each directed edge counts once (mutual links count twice).
-uint32_t CountInducedEdges(const PropertyGraph& graph,
+uint32_t CountInducedEdges(const CsrGraph& graph,
                            const std::vector<NodeId>& nodes);
 
 /// \brief M(C) for the given composition.
@@ -48,6 +52,6 @@ uint32_t MaxCycleEdges(uint32_t num_articles, uint32_t num_categories);
 /// \brief Fraction of linked (unordered) article pairs with links in both
 /// directions — the paper's "11.47% of connected article pairs form a cycle
 /// of length 2" statistic.
-double ReciprocalLinkRate(const PropertyGraph& graph);
+double ReciprocalLinkRate(const CsrGraph& graph);
 
 }  // namespace wqe::graph

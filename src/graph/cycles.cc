@@ -56,28 +56,35 @@ struct DfsContext {
   }
 
   /// Extends the path (whose last node is `u`); `start` is path[0].
+  ///
+  /// Rows are sorted ascending, so one binary search splits `u`'s row at
+  /// `start`: everything before it is excluded by canonicality (the start
+  /// is the path minimum), equality is the closing edge, and only the
+  /// suffix can extend the path.  At maximum depth the suffix is skipped
+  /// entirely — the closure test is the whole visit.
   void Extend(uint32_t start, uint32_t u) {
     if (aborted) return;
-    const auto& neighbors = view->Neighbors(u);
-    for (uint32_t v : neighbors) {
+    std::span<const uint32_t> neighbors = view->Neighbors(u);
+    auto suffix = std::upper_bound(neighbors.begin(), neighbors.end(), start);
+    // Close the cycle when we are back at the start with enough nodes.
+    // The orientation constraint path[1] < path.back() ensures each cycle
+    // is emitted in only one of its two traversal directions.
+    if (suffix != neighbors.begin() && *(suffix - 1) == start &&
+        path.size() >= 3 && path.size() >= options->min_length &&
+        path[1] < path.back()) {
+      Emit();
       if (aborted) return;
-      if (v <= start) {
-        // Close the cycle when we are back at the start with enough nodes.
-        // The orientation constraint path[1] < path.back() ensures each
-        // cycle is emitted in only one of its two traversal directions.
-        if (v == start && path.size() >= 3 && path[1] < path.back() &&
-            path.size() >= options->min_length) {
-          Emit();
-        }
-        continue;  // all other nodes <= start are excluded (canonical start)
-      }
+    }
+    if (path.size() >= options->max_length) return;
+    for (auto it = suffix; it != neighbors.end(); ++it) {
+      uint32_t v = *it;
       if (on_path[v]) continue;
-      if (path.size() >= options->max_length) continue;
       path.push_back(v);
       on_path[v] = true;
       Extend(start, v);
       on_path[v] = false;
       path.pop_back();
+      if (aborted) return;
     }
   }
 };
@@ -100,13 +107,18 @@ size_t CycleEnumerator::Visit(const CycleEnumerationOptions& options,
   }
   ctx.on_path.assign(n, false);
 
-  // Length-2 cycles: adjacent pairs with >= 2 parallel edges.
+  // Length-2 cycles: adjacent pairs with >= 2 parallel edges, read straight
+  // off the parallel multiplicity row.
   if (options.min_length <= 2 && options.max_length >= 2) {
     for (uint32_t u = 0; u < n && !ctx.aborted; ++u) {
-      for (uint32_t v : view_->Neighbors(u)) {
-        if (v <= u) continue;
-        if (view_->Multiplicity(u, v) >= 2) {
-          ctx.path = {u, v};
+      std::span<const uint32_t> neighbors = view_->Neighbors(u);
+      std::span<const uint32_t> mults = view_->Multiplicities(u);
+      size_t first =
+          std::upper_bound(neighbors.begin(), neighbors.end(), u) -
+          neighbors.begin();
+      for (size_t i = first; i < neighbors.size(); ++i) {
+        if (mults[i] >= 2) {
+          ctx.path = {u, neighbors[i]};
           ctx.Emit();
           if (ctx.aborted) break;
         }
@@ -142,10 +154,10 @@ std::vector<Cycle> CycleEnumerator::Enumerate(
   return out;
 }
 
-std::vector<Cycle> EnumerateCycles(const PropertyGraph& graph,
+std::vector<Cycle> EnumerateCycles(const CsrGraph& csr,
                                    const std::vector<NodeId>& nodes,
                                    const CycleEnumerationOptions& options) {
-  UndirectedView view(graph, nodes);
+  UndirectedView view(csr, nodes);
   CycleEnumerator enumerator(view);
   return enumerator.Enumerate(options);
 }

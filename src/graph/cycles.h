@@ -13,7 +13,13 @@
 ///
 /// Canonicalization: every cycle is emitted exactly once, as the rotation
 /// starting at its smallest local id, oriented so the second node is
-/// smaller than the last.
+/// smaller than the last.  Subset views assign local ids in ascending
+/// global order, so the canonical form is stable across view scopes.
+///
+/// The enumerator exploits the view's sorted flat rows: the canonical
+/// start is the path minimum, so each DFS step binary-searches past the
+/// dead `<= start` prefix, and at maximum depth the closing edge is a
+/// single binary search instead of a row scan.
 
 #include <cstdint>
 #include <functional>
@@ -72,8 +78,9 @@ class CycleEnumerator {
 };
 
 /// \brief Convenience: enumerates cycles of the subgraph induced by
-/// `nodes`, keeping only those containing a seed, with global-id output.
-std::vector<Cycle> EnumerateCycles(const PropertyGraph& graph,
+/// `nodes` (sliced from the frozen snapshot), keeping only those
+/// containing a seed, with global-id output.
+std::vector<Cycle> EnumerateCycles(const CsrGraph& csr,
                                    const std::vector<NodeId>& nodes,
                                    const CycleEnumerationOptions& options);
 

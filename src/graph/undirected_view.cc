@@ -1,80 +1,139 @@
 #include "graph/undirected_view.h"
 
 #include <algorithm>
-#include <numeric>
 
 namespace wqe::graph {
 
-UndirectedView::UndirectedView(const PropertyGraph& graph,
+UndirectedView::UndirectedView(const CsrGraph& csr,
                                UndirectedViewOptions options)
-    : graph_(&graph), options_(options) {
-  std::vector<NodeId> all(graph.num_nodes());
-  std::iota(all.begin(), all.end(), 0);
-  Build(all);
+    : csr_(&csr), options_(options) {
+  if (!options_.include_redirects) {
+    // Whole-graph default view: pure offset slicing of the snapshot.
+    num_nodes_ = csr_->num_nodes();
+    num_pairs_ = csr_->num_und_pairs();
+    return;
+  }
+  BuildFromDirectedRows({}, /*whole_graph=*/true);
 }
 
-UndirectedView::UndirectedView(const PropertyGraph& graph,
+UndirectedView::UndirectedView(const CsrGraph& csr,
                                const std::vector<NodeId>& nodes,
                                UndirectedViewOptions options)
-    : graph_(&graph), options_(options) {
-  Build(nodes);
-}
-
-uint64_t UndirectedView::PairKey(uint32_t u, uint32_t v) {
-  uint32_t lo = std::min(u, v);
-  uint32_t hi = std::max(u, v);
-  return (static_cast<uint64_t>(lo) << 32) | hi;
-}
-
-void UndirectedView::Build(const std::vector<NodeId>& nodes) {
-  global_.reserve(nodes.size());
-  for (NodeId n : nodes) {
-    if (local_.emplace(n, static_cast<uint32_t>(global_.size())).second) {
-      global_.push_back(n);
-    }
+    : csr_(&csr), options_(options) {
+  if (!options_.include_redirects) {
+    BuildSubsetFromUndCsr(nodes);
+  } else {
+    BuildFromDirectedRows(nodes, /*whole_graph=*/false);
   }
-  adj_.assign(global_.size(), {});
+}
 
-  // Scan out-edges of every member node; an edge contributes when both
-  // endpoints are in the view.
-  for (uint32_t lu = 0; lu < global_.size(); ++lu) {
-    NodeId gu = global_[lu];
-    for (const Edge& e : graph_->OutEdges(gu)) {
-      if (e.kind == EdgeKind::kRedirect && !options_.include_redirects) {
-        continue;
+void UndirectedView::BuildSubsetFromUndCsr(std::vector<NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  global_ = std::move(nodes);
+  subset_ = true;
+  owned_ = true;
+  num_nodes_ = static_cast<uint32_t>(global_.size());
+
+  offsets_.reserve(num_nodes_ + 1);
+  offsets_.push_back(0);
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    // Intersect the parent's sorted row with the sorted member list; the
+    // member index *is* the neighbor's local id.
+    std::span<const NodeId> neigh = csr_->UndNeighbors(global_[u]);
+    std::span<const uint32_t> mults = csr_->UndMultiplicities(global_[u]);
+    size_t i = 0;
+    uint32_t m = 0;
+    while (i < neigh.size() && m < num_nodes_) {
+      if (neigh[i] < global_[m]) {
+        ++i;
+      } else if (neigh[i] > global_[m]) {
+        ++m;
+      } else {
+        neighbors_.push_back(m);
+        mult_.push_back(mults[i]);
+        ++i;
+        ++m;
       }
-      auto it = local_.find(e.dst);
-      if (it == local_.end()) continue;
-      uint32_t lv = it->second;
-      if (lv == lu) continue;
-      ++multiplicity_[PairKey(lu, lv)];
     }
+    offsets_.push_back(neighbors_.size());
   }
-  for (const auto& [key, count] : multiplicity_) {
-    uint32_t lo = static_cast<uint32_t>(key >> 32);
-    uint32_t hi = static_cast<uint32_t>(key & 0xFFFFFFFFu);
-    adj_[lo].push_back(hi);
-    adj_[hi].push_back(lo);
-    ++num_pairs_;
+  num_pairs_ = neighbors_.size() / 2;
+}
+
+void UndirectedView::BuildFromDirectedRows(std::vector<NodeId> nodes,
+                                           bool whole_graph) {
+  owned_ = true;
+  if (whole_graph) {
+    num_nodes_ = csr_->num_nodes();
+  } else {
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    global_ = std::move(nodes);
+    subset_ = true;
+    num_nodes_ = static_cast<uint32_t>(global_.size());
   }
-  for (auto& neigh : adj_) {
-    std::sort(neigh.begin(), neigh.end());
+  auto to_local = [&](NodeId g) -> uint32_t {
+    if (whole_graph) return g;
+    auto it = std::lower_bound(global_.begin(), global_.end(), g);
+    if (it == global_.end() || *it != g) return UINT32_MAX;
+    return static_cast<uint32_t>(it - global_.begin());
+  };
+
+  offsets_.reserve(num_nodes_ + 1);
+  offsets_.push_back(0);
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    NodeId gu = whole_graph ? u : global_[u];
+    // Merge the sorted out/in rows counting parallel edges per neighbor
+    // (redirects included — this is the include_redirects slow path).
+    std::span<const NodeId> out = csr_->OutTargets(gu);
+    std::span<const NodeId> in = csr_->InSources(gu);
+    size_t i = 0, j = 0;
+    while (i < out.size() || j < in.size()) {
+      NodeId next;
+      if (j >= in.size() || (i < out.size() && out[i] <= in[j])) {
+        next = out[i];
+      } else {
+        next = in[j];
+      }
+      uint32_t count = 0;
+      while (i < out.size() && out[i] == next) {
+        ++count;
+        ++i;
+      }
+      while (j < in.size() && in[j] == next) {
+        ++count;
+        ++j;
+      }
+      uint32_t lv = to_local(next);
+      if (lv == UINT32_MAX) continue;  // neighbor outside the view
+      neighbors_.push_back(lv);
+      mult_.push_back(count);
+    }
+    offsets_.push_back(neighbors_.size());
   }
+  num_pairs_ = neighbors_.size() / 2;
 }
 
 uint32_t UndirectedView::ToLocal(NodeId global) const {
-  auto it = local_.find(global);
-  return it == local_.end() ? UINT32_MAX : it->second;
+  if (!subset_) {
+    return global < num_nodes_ ? global : UINT32_MAX;
+  }
+  auto it = std::lower_bound(global_.begin(), global_.end(), global);
+  if (it == global_.end() || *it != global) return UINT32_MAX;
+  return static_cast<uint32_t>(it - global_.begin());
 }
 
 bool UndirectedView::HasEdge(uint32_t u, uint32_t v) const {
-  const auto& neigh = adj_[u];
+  std::span<const uint32_t> neigh = Neighbors(u);
   return std::binary_search(neigh.begin(), neigh.end(), v);
 }
 
 uint32_t UndirectedView::Multiplicity(uint32_t u, uint32_t v) const {
-  auto it = multiplicity_.find(PairKey(u, v));
-  return it == multiplicity_.end() ? 0 : it->second;
+  std::span<const uint32_t> neigh = Neighbors(u);
+  auto it = std::lower_bound(neigh.begin(), neigh.end(), v);
+  if (it == neigh.end() || *it != v) return 0;
+  return Multiplicities(u)[static_cast<size_t>(it - neigh.begin())];
 }
 
 }  // namespace wqe::graph

@@ -6,60 +6,80 @@
 /// The paper analyzes cycles "without taking the edges direction into
 /// account": a cycle needs *at least one edge among each pair of
 /// consecutive nodes*, and a length-2 cycle needs two parallel edges
-/// (e.g. mutual links).  This view materializes, for the whole graph or an
-/// induced node subset, sorted unique undirected neighbor lists plus the
-/// parallel-edge multiplicity of every adjacent pair.
+/// (e.g. mutual links).  Redirect edges are excluded by default: per the
+/// paper's §4 remark, redirect articles "can never close a cycle (see
+/// Figure 1)".
 ///
-/// Redirect edges are excluded by default: per the paper's §4 remark,
-/// redirect articles "can never close a cycle (see Figure 1)".
+/// The view is backed by a frozen `CsrGraph` snapshot:
+///
+///  - the **whole-graph** default view is zero-copy — it is nothing but
+///    offset slices into the snapshot's precomputed undirected CSR, so
+///    constructing one costs O(1) and local ids equal global node ids;
+///  - an **induced-subset** view (the per-query case) materializes its
+///    local rows by slicing the parent's sorted undirected rows against
+///    the sorted member list — flat two-pointer intersections, no hash
+///    maps, no re-walk of the directed builder adjacency.  Local ids are
+///    assigned in ascending global-id order, so canonical cycle output is
+///    identical whether enumerated on a subset view or on a whole-graph
+///    view restricted to the same nodes.
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
 
 namespace wqe::graph {
 
 /// \brief View construction options.
 struct UndirectedViewOptions {
-  /// Include redirect edges in the view (off for cycle analysis).
+  /// Include redirect edges in the view (off for cycle analysis).  This is
+  /// the slow path — it bypasses the snapshot's precomputed undirected CSR
+  /// and re-merges the directed rows.
   bool include_redirects = false;
 };
 
 /// \brief Compact undirected view with local ids `[0, num_nodes())`.
 class UndirectedView {
  public:
-  /// \brief View over the whole graph.
-  explicit UndirectedView(const PropertyGraph& graph,
+  /// \brief Zero-copy view over the whole snapshot.
+  explicit UndirectedView(const CsrGraph& csr,
                           UndirectedViewOptions options = {});
 
   /// \brief View over the subgraph induced by `nodes` (global ids,
-  /// duplicates ignored).
-  UndirectedView(const PropertyGraph& graph, const std::vector<NodeId>& nodes,
+  /// duplicates ignored).  Local ids ascend with global ids.
+  UndirectedView(const CsrGraph& csr, const std::vector<NodeId>& nodes,
                  UndirectedViewOptions options = {});
 
   /// \brief Number of nodes in the view.
-  uint32_t num_nodes() const { return static_cast<uint32_t>(global_.size()); }
+  uint32_t num_nodes() const { return num_nodes_; }
 
   /// \brief Number of undirected adjacent pairs (multiplicity collapsed).
   size_t num_undirected_edges() const { return num_pairs_; }
 
   /// \brief Maps a local id back to the underlying graph's node id.
-  NodeId ToGlobal(uint32_t local) const { return global_[local]; }
+  NodeId ToGlobal(uint32_t local) const {
+    return subset_ ? global_[local] : local;
+  }
 
   /// \brief Maps a global node id to a local id, or UINT32_MAX if the node
-  /// is not part of this view.
+  /// is not part of this view.  Binary search on subset views.
   uint32_t ToLocal(NodeId global) const;
 
-  /// \brief Sorted unique undirected neighbors of `local`.
-  const std::vector<uint32_t>& Neighbors(uint32_t local) const {
-    return adj_[local];
+  /// \brief Sorted unique undirected neighbors of `local`, as local ids.
+  std::span<const uint32_t> Neighbors(uint32_t local) const {
+    return owned_ ? RowSpan(neighbors_, local) : csr_->UndNeighbors(local);
+  }
+
+  /// \brief Parallel-edge multiplicities aligned with `Neighbors(local)`.
+  std::span<const uint32_t> Multiplicities(uint32_t local) const {
+    return owned_ ? RowSpan(mult_, local) : csr_->UndMultiplicities(local);
   }
 
   /// \brief Undirected degree (distinct neighbors).
   uint32_t Degree(uint32_t local) const {
-    return static_cast<uint32_t>(adj_[local].size());
+    return static_cast<uint32_t>(Neighbors(local).size());
   }
 
   /// \brief True when u and v are adjacent (any direction, any kind).
@@ -70,21 +90,31 @@ class UndirectedView {
   uint32_t Multiplicity(uint32_t u, uint32_t v) const;
 
   /// \brief Node kind of a local node.
-  NodeKind kind(uint32_t local) const { return graph_->kind(global_[local]); }
+  NodeKind kind(uint32_t local) const { return csr_->kind(ToGlobal(local)); }
 
-  const PropertyGraph& parent() const { return *graph_; }
+  /// \brief The shared snapshot this view slices.
+  const CsrGraph& parent() const { return *csr_; }
 
  private:
-  void Build(const std::vector<NodeId>& nodes);
-  static uint64_t PairKey(uint32_t u, uint32_t v);
+  void BuildSubsetFromUndCsr(std::vector<NodeId> nodes);
+  void BuildFromDirectedRows(std::vector<NodeId> nodes, bool whole_graph);
 
-  const PropertyGraph* graph_;
+  std::span<const uint32_t> RowSpan(const std::vector<uint32_t>& data,
+                                    uint32_t local) const {
+    return std::span<const uint32_t>(data.data() + offsets_[local],
+                                     data.data() + offsets_[local + 1]);
+  }
+
+  const CsrGraph* csr_;
   UndirectedViewOptions options_;
-  std::vector<NodeId> global_;
-  std::unordered_map<NodeId, uint32_t> local_;
-  std::vector<std::vector<uint32_t>> adj_;
-  std::unordered_map<uint64_t, uint32_t> multiplicity_;
+  bool subset_ = false;  ///< local ids differ from global ids
+  bool owned_ = false;   ///< adjacency materialized below (vs snapshot rows)
+  uint32_t num_nodes_ = 0;
   size_t num_pairs_ = 0;
+  std::vector<NodeId> global_;  ///< subset mode: sorted member globals
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> neighbors_;  ///< local ids
+  std::vector<uint32_t> mult_;
 };
 
 }  // namespace wqe::graph

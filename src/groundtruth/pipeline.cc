@@ -13,6 +13,9 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Build(
   WQE_ASSIGN_OR_RETURN(p->wiki_, wiki::GenerateSyntheticWikipedia(options.wiki));
   WQE_ASSIGN_OR_RETURN(p->track_,
                        clef::GenerateTrack(p->wiki_, options.track));
+  // Build time is over: freeze the structural snapshot the analyzers and
+  // expanders read (the one-way builder→CSR bridge, see graph/csr.h).
+  p->wiki_.kb.Freeze();
 
   // Index the §2.1-extracted text of every metadata file.
   p->engine_ = std::make_unique<ir::SearchEngine>(options.engine);

@@ -23,6 +23,13 @@
 /// is deterministic (ties break by DocId, see ir/scorer.h) and cached
 /// expansions are pure functions of their key over the immutable KB.
 ///
+/// All workers share the engine KB's one frozen `graph::CsrGraph`
+/// snapshot (built once in `Engine::Build`, see graph/csr.h): a cache
+/// *miss* slices that snapshot's precomputed flat undirected adjacency
+/// for its query ball — it never re-materializes whole-graph adjacency or
+/// touches the mutable builder, so cold-miss latency stays flat as
+/// workers are added.
+///
 /// The wrapped engine's registry is frozen at construction
 /// (`Engine::LockRegistry`): registering strategies while workers resolve
 /// names is unsupported.

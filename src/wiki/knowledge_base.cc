@@ -1,6 +1,5 @@
 #include "wiki/knowledge_base.h"
 
-#include <deque>
 #include <unordered_set>
 
 #include "common/macros.h"
@@ -12,9 +11,32 @@ namespace {
 constexpr std::string_view kCategoryPrefix = "category:";
 }  // namespace
 
+Status KnowledgeBase::CheckMutable() const {
+  if (frozen_) {
+    return Status::InvalidArgument(
+        "knowledge base is frozen (Freeze() is one-way); finish building "
+        "before freezing");
+  }
+  return Status::OK();
+}
+
+const graph::CsrGraph& KnowledgeBase::Freeze() {
+  if (!frozen_) {
+    csr_ = graph::CsrGraph::Freeze(graph_);
+    frozen_ = true;
+  }
+  return csr_;
+}
+
+const graph::CsrGraph& KnowledgeBase::csr() const {
+  WQE_CHECK(frozen_);  // Freeze() is the builder→serving bridge
+  return csr_;
+}
+
 Result<NodeId> KnowledgeBase::AddEntry(graph::NodeKind kind,
                                        std::string_view title,
                                        std::string_view index_key) {
+  WQE_RETURN_NOT_OK(CheckMutable());
   std::string key(index_key);
   if (key.empty() ||
       (kind == graph::NodeKind::kCategory &&
@@ -54,6 +76,7 @@ Result<NodeId> KnowledgeBase::AddCategory(std::string_view name) {
 
 Result<NodeId> KnowledgeBase::AddRedirect(std::string_view alias_title,
                                           NodeId main) {
+  WQE_RETURN_NOT_OK(CheckMutable());
   WQE_RETURN_NOT_OK(graph_.CheckNode(main));
   if (!graph_.IsArticle(main)) {
     return Status::InvalidArgument("redirect target must be an article");
@@ -72,6 +95,7 @@ Result<NodeId> KnowledgeBase::AddRedirect(std::string_view alias_title,
 }
 
 Status KnowledgeBase::AddLink(NodeId from, NodeId to) {
+  WQE_RETURN_NOT_OK(CheckMutable());
   if (IsRedirect(from) || IsRedirect(to)) {
     return Status::InvalidArgument(
         "links must connect main articles, not redirects");
@@ -80,6 +104,7 @@ Status KnowledgeBase::AddLink(NodeId from, NodeId to) {
 }
 
 Status KnowledgeBase::AddBelongs(NodeId article, NodeId category) {
+  WQE_RETURN_NOT_OK(CheckMutable());
   if (IsRedirect(article)) {
     return Status::InvalidArgument("redirects do not belong to categories");
   }
@@ -87,6 +112,7 @@ Status KnowledgeBase::AddBelongs(NodeId article, NodeId category) {
 }
 
 Status KnowledgeBase::AddInside(NodeId category, NodeId parent) {
+  WQE_RETURN_NOT_OK(CheckMutable());
   return graph_.AddEdge(category, parent, graph::EdgeKind::kInside);
 }
 
@@ -109,6 +135,10 @@ std::optional<NodeId> KnowledgeBase::FindArticle(
 }
 
 bool KnowledgeBase::IsRedirect(NodeId node) const {
+  if (frozen_) {
+    return csr_.IsArticle(node) &&
+           csr_.RedirectTarget(node) != graph::kInvalidNode;
+  }
   if (!graph_.IsArticle(node)) return false;
   for (const graph::Edge& e : graph_.OutEdges(node)) {
     if (e.kind == graph::EdgeKind::kRedirect) return true;
@@ -117,6 +147,10 @@ bool KnowledgeBase::IsRedirect(NodeId node) const {
 }
 
 NodeId KnowledgeBase::ResolveRedirect(NodeId node) const {
+  if (frozen_) {
+    NodeId target = csr_.RedirectTarget(node);
+    return target == graph::kInvalidNode ? node : target;
+  }
   for (const graph::Edge& e : graph_.OutEdges(node)) {
     if (e.kind == graph::EdgeKind::kRedirect) return e.dst;
   }
@@ -125,6 +159,14 @@ NodeId KnowledgeBase::ResolveRedirect(NodeId node) const {
 
 std::vector<NodeId> KnowledgeBase::RedirectsOf(NodeId main) const {
   std::vector<NodeId> out;
+  if (frozen_) {
+    std::span<const NodeId> sources = csr_.InSources(main);
+    std::span<const graph::EdgeKind> kinds = csr_.InKinds(main);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (kinds[i] == graph::EdgeKind::kRedirect) out.push_back(sources[i]);
+    }
+    return out;
+  }
   for (const graph::Edge& e : graph_.InEdges(main)) {
     if (e.kind == graph::EdgeKind::kRedirect) out.push_back(e.dst);
   }
@@ -133,6 +175,14 @@ std::vector<NodeId> KnowledgeBase::RedirectsOf(NodeId main) const {
 
 std::vector<NodeId> KnowledgeBase::CategoriesOf(NodeId article) const {
   std::vector<NodeId> out;
+  if (frozen_) {
+    std::span<const NodeId> targets = csr_.OutTargets(article);
+    std::span<const graph::EdgeKind> kinds = csr_.OutKinds(article);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (kinds[i] == graph::EdgeKind::kBelongs) out.push_back(targets[i]);
+    }
+    return out;
+  }
   for (const graph::Edge& e : graph_.OutEdges(article)) {
     if (e.kind == graph::EdgeKind::kBelongs) out.push_back(e.dst);
   }
@@ -141,6 +191,14 @@ std::vector<NodeId> KnowledgeBase::CategoriesOf(NodeId article) const {
 
 std::vector<NodeId> KnowledgeBase::LinkedFrom(NodeId article) const {
   std::vector<NodeId> out;
+  if (frozen_) {
+    std::span<const NodeId> targets = csr_.OutTargets(article);
+    std::span<const graph::EdgeKind> kinds = csr_.OutKinds(article);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (kinds[i] == graph::EdgeKind::kLink) out.push_back(targets[i]);
+    }
+    return out;
+  }
   for (const graph::Edge& e : graph_.OutEdges(article)) {
     if (e.kind == graph::EdgeKind::kLink) out.push_back(e.dst);
   }
@@ -149,46 +207,87 @@ std::vector<NodeId> KnowledgeBase::LinkedFrom(NodeId article) const {
 
 std::vector<NodeId> KnowledgeBase::LinkingTo(NodeId article) const {
   std::vector<NodeId> out;
+  if (frozen_) {
+    std::span<const NodeId> sources = csr_.InSources(article);
+    std::span<const graph::EdgeKind> kinds = csr_.InKinds(article);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (kinds[i] == graph::EdgeKind::kLink) out.push_back(sources[i]);
+    }
+    return out;
+  }
   for (const graph::Edge& e : graph_.InEdges(article)) {
     if (e.kind == graph::EdgeKind::kLink) out.push_back(e.dst);
   }
   return out;
 }
 
+namespace {
+
+/// BFS ball shared by the frozen/unfrozen Neighborhood paths; memory is
+/// proportional to the ball, never to the whole graph (this runs on the
+/// serving cache-miss hot path).  `for_each_neighbor(u, visit)` must call
+/// `visit(v)` for every non-redirect neighbor of `u`, both directions.
+template <typename ForEachNeighbor>
+std::vector<NodeId> BfsBall(const std::vector<NodeId>& sources,
+                            uint32_t radius, size_t max_nodes,
+                            size_t num_nodes,
+                            ForEachNeighbor&& for_each_neighbor) {
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> out;  // doubles as the BFS queue (visit order)
+  std::vector<uint32_t> depth;
+  for (NodeId s : sources) {
+    if (s < num_nodes && seen.insert(s).second) {
+      out.push_back(s);
+      depth.push_back(0);
+    }
+  }
+  for (size_t head = 0; head < out.size(); ++head) {
+    NodeId u = out[head];
+    uint32_t d = depth[head];
+    if (d >= radius) continue;
+    if (max_nodes != 0 && out.size() >= max_nodes) break;
+    for_each_neighbor(u, [&](NodeId next) {
+      if (max_nodes != 0 && out.size() >= max_nodes) return;
+      if (seen.insert(next).second) {
+        out.push_back(next);
+        depth.push_back(d + 1);
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<NodeId> KnowledgeBase::Neighborhood(
     const std::vector<NodeId>& sources, uint32_t radius,
     size_t max_nodes) const {
-  std::unordered_set<NodeId> seen;
-  std::vector<NodeId> out;
-  std::deque<std::pair<NodeId, uint32_t>> queue;
-  for (NodeId s : sources) {
-    if (s < graph_.num_nodes() && seen.insert(s).second) {
-      out.push_back(s);
-      queue.emplace_back(s, 0);
-    }
+  if (frozen_) {
+    // Frozen fast path: flat CSR row scans.
+    return BfsBall(
+        sources, radius, max_nodes, csr_.num_nodes(),
+        [&](NodeId u, auto&& visit) {
+          std::span<const NodeId> targets = csr_.OutTargets(u);
+          std::span<const graph::EdgeKind> out_kinds = csr_.OutKinds(u);
+          for (size_t i = 0; i < targets.size(); ++i) {
+            if (out_kinds[i] != graph::EdgeKind::kRedirect) visit(targets[i]);
+          }
+          std::span<const NodeId> in = csr_.InSources(u);
+          std::span<const graph::EdgeKind> in_kinds = csr_.InKinds(u);
+          for (size_t i = 0; i < in.size(); ++i) {
+            if (in_kinds[i] != graph::EdgeKind::kRedirect) visit(in[i]);
+          }
+        });
   }
-  auto visit = [&](NodeId next, uint32_t depth) {
-    if (max_nodes != 0 && out.size() >= max_nodes) return;
-    if (seen.insert(next).second) {
-      out.push_back(next);
-      queue.emplace_back(next, depth);
-    }
-  };
-  while (!queue.empty()) {
-    auto [u, depth] = queue.front();
-    queue.pop_front();
-    if (depth >= radius) continue;
-    if (max_nodes != 0 && out.size() >= max_nodes) break;
-    for (const graph::Edge& e : graph_.OutEdges(u)) {
-      if (e.kind == graph::EdgeKind::kRedirect) continue;
-      visit(e.dst, depth + 1);
-    }
-    for (const graph::Edge& e : graph_.InEdges(u)) {
-      if (e.kind == graph::EdgeKind::kRedirect) continue;
-      visit(e.dst, depth + 1);
-    }
-  }
-  return out;
+  return BfsBall(sources, radius, max_nodes, graph_.num_nodes(),
+                 [&](NodeId u, auto&& visit) {
+                   for (const graph::Edge& e : graph_.OutEdges(u)) {
+                     if (e.kind != graph::EdgeKind::kRedirect) visit(e.dst);
+                   }
+                   for (const graph::Edge& e : graph_.InEdges(u)) {
+                     if (e.kind != graph::EdgeKind::kRedirect) visit(e.dst);
+                   }
+                 });
 }
 
 Status KnowledgeBase::Validate() const {

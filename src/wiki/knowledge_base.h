@@ -10,6 +10,14 @@
 ///
 /// Titles are stored normalized (lowercase, collapsed whitespace — see
 /// `NormalizeTitle`); the display title is kept separately for output.
+///
+/// Lifecycle: the KB is a *builder* until `Freeze()` is called, which
+/// compiles the property graph into an immutable `graph::CsrGraph`
+/// snapshot (see graph/csr.h).  Freezing is the one-way bridge — any
+/// mutation afterwards fails — so the snapshot can be shared read-only
+/// across every serving thread.  All structural reads (redirect
+/// resolution, neighborhoods, link/category scans) take the flat CSR fast
+/// path once frozen.
 
 #include <optional>
 #include <string>
@@ -19,6 +27,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "graph/csr.h"
 #include "graph/graph.h"
 
 namespace wqe::wiki {
@@ -58,6 +67,14 @@ class KnowledgeBase {
   /// @}
 
   /// \name Lookup
+  ///
+  /// Order contract for the list-valued accessors (`RedirectsOf`,
+  /// `CategoriesOf`, `LinkedFrom`, `LinkingTo`): the *set* of results is
+  /// representation-independent, but the order is not — before `Freeze()`
+  /// they follow edge-insertion order, after it the snapshot's sorted
+  /// rows (ascending node id).  Serving code always runs frozen, so
+  /// anything order-sensitive (e.g. candidate tie-breaks) sees the
+  /// deterministic ascending order.
   /// @{
 
   /// \brief Finds any entry (article, redirect or category) by normalized
@@ -102,6 +119,19 @@ class KnowledgeBase {
   size_t num_articles() const { return num_articles_; }
   size_t num_redirects() const { return num_redirects_; }
   size_t num_categories() const { return num_categories_; }
+
+  /// \brief One-way bridge from builder to serving: compiles the frozen
+  /// `CsrGraph` snapshot.  Idempotent; after the first call every `Add*`
+  /// mutator fails with InvalidArgument.  Called by `api::Engine::Build`
+  /// (and `groundtruth::Pipeline::Build`); call it yourself before using
+  /// structural components (expanders, views) on a hand-built KB.
+  const graph::CsrGraph& Freeze();
+
+  /// \brief The frozen snapshot; `Freeze()` must have been called.
+  /// Safe to read from any number of threads concurrently.
+  const graph::CsrGraph& csr() const;
+
+  bool frozen() const { return frozen_; }
   /// @}
 
   /// \brief Undirected BFS ball of radius `radius` around `sources`,
@@ -119,7 +149,12 @@ class KnowledgeBase {
   Result<NodeId> AddEntry(graph::NodeKind kind, std::string_view title,
                           std::string_view index_key);
 
+  /// Fails when the KB is frozen (mutators call this first).
+  Status CheckMutable() const;
+
   graph::PropertyGraph graph_;
+  graph::CsrGraph csr_;
+  bool frozen_ = false;
   std::vector<std::string> display_titles_;
   std::unordered_map<std::string, NodeId> title_index_;
   size_t num_articles_ = 0;

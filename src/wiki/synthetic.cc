@@ -214,7 +214,8 @@ Result<SyntheticWikipedia> GenerateSyntheticWikipedia(
         // subjects with loosely related mentions.
         uint32_t target_rank =
             link_rng.Bernoulli(0.5)
-                ? link_rng.Zipf(static_cast<uint32_t>(articles.size()), 1.05)
+                ? link_rng.Zipf(static_cast<uint32_t>(articles.size()),
+                                options.link_target_s)
                 : link_rng.Uniform(static_cast<uint32_t>(articles.size()));
         NodeId dst = articles[target_rank];
         if (dst == src) continue;
@@ -233,7 +234,7 @@ Result<SyntheticWikipedia> GenerateSyntheticWikipedia(
         } while (other == d);
         const auto& others = wiki.domain_articles[other];
         NodeId dst = others[link_rng.Zipf(
-            static_cast<uint32_t>(others.size()), 1.05)];
+            static_cast<uint32_t>(others.size()), options.link_target_s)];
         Status st = wiki.kb.AddLink(src, dst);
         if (!st.ok() && !st.IsAlreadyExists()) return st;
       }

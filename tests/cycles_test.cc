@@ -7,6 +7,7 @@
 #include <set>
 
 #include "graph/cycle_metrics.h"
+#include "graph/csr.h"
 #include "graph/cycles.h"
 #include "graph/graph.h"
 #include "graph/undirected_view.h"
@@ -39,7 +40,8 @@ size_t CountCyclesOfLength(const std::vector<Cycle>& cycles, uint32_t len) {
 
 TEST(CycleEnumeratorTest, TriangleFoundOnce) {
   PropertyGraph g = CompleteArticleGraph(3);
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   CycleEnumerator e(view);
   CycleEnumerationOptions options;
   std::vector<Cycle> cycles = e.Enumerate(options);
@@ -56,13 +58,15 @@ TEST(CycleEnumeratorTest, TwoCycleNeedsParallelEdges) {
   NodeId b = g.AddNode(NodeKind::kArticle, "b");
   ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kLink).ok());
   {
-    UndirectedView view(g);
+    CsrGraph csr = CsrGraph::Freeze(g);
+    UndirectedView view(csr);
     CycleEnumerator e(view);
     EXPECT_TRUE(e.Enumerate({}).empty());  // single link: no 2-cycle
   }
   ASSERT_TRUE(g.AddEdge(b, a, EdgeKind::kLink).ok());
   {
-    UndirectedView view(g);
+    CsrGraph csr = CsrGraph::Freeze(g);
+    UndirectedView view(csr);
     CycleEnumerator e(view);
     std::vector<Cycle> cycles = e.Enumerate({});
     ASSERT_EQ(cycles.size(), 1u);
@@ -78,7 +82,8 @@ TEST(CycleEnumeratorTest, RedirectNeverClosesCycle) {
   NodeId r = g.AddNode(NodeKind::kArticle, "r");
   ASSERT_TRUE(g.AddEdge(r, a, EdgeKind::kRedirect).ok());
   ASSERT_TRUE(g.AddEdge(a, r, EdgeKind::kLink).ok());
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   CycleEnumerator e(view);
   EXPECT_TRUE(e.Enumerate({}).empty());
 }
@@ -101,7 +106,8 @@ class CompleteGraphCycleTest
 TEST_P(CompleteGraphCycleTest, CountMatchesClosedForm) {
   auto [n, k] = GetParam();
   PropertyGraph g = CompleteArticleGraph(n);
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   CycleEnumerator e(view);
   CycleEnumerationOptions options;
   options.min_length = k;
@@ -134,7 +140,8 @@ TEST(CycleEnumeratorTest, SeedFilterKeepsOnlyTouchingCycles) {
                       {3, 4}, {4, 5}, {3, 5}}) {
     ASSERT_TRUE(g.AddEdge(u, v, EdgeKind::kLink).ok());
   }
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   CycleEnumerator e(view);
   CycleEnumerationOptions options;
   options.seeds = {0};
@@ -145,7 +152,8 @@ TEST(CycleEnumeratorTest, SeedFilterKeepsOnlyTouchingCycles) {
 
 TEST(CycleEnumeratorTest, MaxCyclesCapsEnumeration) {
   PropertyGraph g = CompleteArticleGraph(7);
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   CycleEnumerator e(view);
   CycleEnumerationOptions options;
   options.max_cycles = 5;
@@ -154,7 +162,8 @@ TEST(CycleEnumeratorTest, MaxCyclesCapsEnumeration) {
 
 TEST(CycleEnumeratorTest, VisitorCanAbort) {
   PropertyGraph g = CompleteArticleGraph(6);
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   CycleEnumerator e(view);
   size_t seen = 0;
   e.Visit({}, [&](const std::vector<uint32_t>&) {
@@ -166,7 +175,8 @@ TEST(CycleEnumeratorTest, VisitorCanAbort) {
 
 TEST(CycleEnumeratorTest, LengthBoundsRespected) {
   PropertyGraph g = CompleteArticleGraph(6);
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   CycleEnumerator e(view);
   CycleEnumerationOptions options;
   options.min_length = 4;
@@ -189,7 +199,8 @@ TEST(CycleEnumeratorTest, MixedArticleCategoryCycle) {
   ASSERT_TRUE(g.AddEdge(q, x, EdgeKind::kLink).ok());
   ASSERT_TRUE(g.AddEdge(q, c, EdgeKind::kBelongs).ok());
   ASSERT_TRUE(g.AddEdge(x, c, EdgeKind::kBelongs).ok());
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   CycleEnumerator e(view);
   std::vector<Cycle> cycles = e.Enumerate({});
   ASSERT_EQ(cycles.size(), 1u);
@@ -220,7 +231,7 @@ TEST(CycleMetricsTest, DenseTriangleWithCategory) {
   ASSERT_TRUE(g.AddEdge(b, c, EdgeKind::kBelongs).ok());
   Cycle cycle;
   cycle.nodes = {a, b, c};
-  CycleMetrics m = ComputeCycleMetrics(g, cycle);
+  CycleMetrics m = ComputeCycleMetrics(CsrGraph::Freeze(g), cycle);
   EXPECT_EQ(m.length, 3u);
   EXPECT_EQ(m.num_articles, 2u);
   EXPECT_EQ(m.num_categories, 1u);
@@ -243,7 +254,7 @@ TEST(CycleMetricsTest, PlainCategoryBridgedFourCycleHasZeroDensity) {
   ASSERT_TRUE(g.AddEdge(x, c2, EdgeKind::kBelongs).ok());
   Cycle cycle;
   cycle.nodes = {q, c1, x, c2};
-  CycleMetrics m = ComputeCycleMetrics(g, cycle);
+  CycleMetrics m = ComputeCycleMetrics(CsrGraph::Freeze(g), cycle);
   EXPECT_EQ(m.num_edges, 4u);
   EXPECT_EQ(m.max_edges, 7u);
   EXPECT_DOUBLE_EQ(m.extra_edge_density, 0.0);
@@ -264,7 +275,7 @@ TEST(CycleMetricsTest, ChordRaisesDensity) {
   ASSERT_TRUE(g.AddEdge(c1, c2, EdgeKind::kInside).ok());
   Cycle cycle;
   cycle.nodes = {q, c1, x, c2};
-  CycleMetrics m = ComputeCycleMetrics(g, cycle);
+  CycleMetrics m = ComputeCycleMetrics(CsrGraph::Freeze(g), cycle);
   EXPECT_EQ(m.num_edges, 5u);
   EXPECT_NEAR(m.extra_edge_density, 1.0 / 3.0, 1e-12);
 }
@@ -277,7 +288,7 @@ TEST(CycleMetricsTest, TwoCycleDensityGuard) {
   ASSERT_TRUE(g.AddEdge(b, a, EdgeKind::kLink).ok());
   Cycle cycle;
   cycle.nodes = {a, b};
-  CycleMetrics m = ComputeCycleMetrics(g, cycle);
+  CycleMetrics m = ComputeCycleMetrics(CsrGraph::Freeze(g), cycle);
   EXPECT_EQ(m.num_edges, 2u);
   EXPECT_EQ(m.max_edges, 2u);  // M == |C|: density undefined → 0
   EXPECT_DOUBLE_EQ(m.extra_edge_density, 0.0);
@@ -289,7 +300,7 @@ TEST(CycleMetricsTest, RedirectEdgesExcludedFromInducedCount) {
   NodeId b = g.AddNode(NodeKind::kArticle, "b");
   ASSERT_TRUE(g.AddEdge(a, b, EdgeKind::kLink).ok());
   ASSERT_TRUE(g.AddEdge(b, a, EdgeKind::kRedirect).ok());
-  EXPECT_EQ(CountInducedEdges(g, {a, b}), 1u);
+  EXPECT_EQ(CountInducedEdges(CsrGraph::Freeze(g), {a, b}), 1u);
 }
 
 TEST(ReciprocalLinkRateTest, CountsMutualFraction) {
@@ -302,12 +313,12 @@ TEST(ReciprocalLinkRateTest, CountsMutualFraction) {
   ASSERT_TRUE(g.AddEdge(1, 0, EdgeKind::kLink).ok());
   ASSERT_TRUE(g.AddEdge(0, 2, EdgeKind::kLink).ok());
   ASSERT_TRUE(g.AddEdge(1, 3, EdgeKind::kLink).ok());
-  EXPECT_NEAR(ReciprocalLinkRate(g), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ReciprocalLinkRate(CsrGraph::Freeze(g)), 1.0 / 3.0, 1e-12);
 }
 
 TEST(ReciprocalLinkRateTest, EmptyGraphIsZero) {
   PropertyGraph g;
-  EXPECT_DOUBLE_EQ(ReciprocalLinkRate(g), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalLinkRate(CsrGraph::Freeze(g)), 0.0);
 }
 
 TEST(EnumerateCyclesHelperTest, InducedConvenienceWrapper) {
@@ -316,7 +327,8 @@ TEST(EnumerateCyclesHelperTest, InducedConvenienceWrapper) {
   options.min_length = 3;
   options.max_length = 3;
   // Restrict to 4 of the 5 nodes: C(4,3) = 4 triangles.
-  std::vector<Cycle> cycles = EnumerateCycles(g, {0, 1, 2, 3}, options);
+  std::vector<Cycle> cycles =
+      EnumerateCycles(CsrGraph::Freeze(g), {0, 1, 2, 3}, options);
   EXPECT_EQ(cycles.size(), 4u);
   for (const Cycle& c : cycles) {
     for (NodeId n : c.nodes) EXPECT_LT(n, 4u);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/connected_components.h"
+#include "graph/csr.h"
 #include "graph/graph.h"
 #include "graph/subgraph.h"
 #include "graph/triangles.h"
@@ -94,18 +95,20 @@ TEST(PropertyGraphTest, InOutEdgesAndCounts) {
 
 TEST(UndirectedViewTest, ExcludesRedirectsByDefault) {
   PropertyGraph g = TinyWiki();
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   // r (node 5) participates only via redirect — degree 0 in the view.
   EXPECT_EQ(view.Degree(view.ToLocal(5)), 0u);
   UndirectedViewOptions options;
   options.include_redirects = true;
-  UndirectedView with_redirects(g, options);
+  UndirectedView with_redirects(csr, options);
   EXPECT_EQ(with_redirects.Degree(with_redirects.ToLocal(5)), 1u);
 }
 
 TEST(UndirectedViewTest, MultiplicityCountsParallelEdges) {
   PropertyGraph g = TinyWiki();
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   uint32_t a0 = view.ToLocal(0), a1 = view.ToLocal(1);
   EXPECT_EQ(view.Multiplicity(a0, a1), 2u);  // mutual links
   uint32_t c0 = view.ToLocal(3);
@@ -115,7 +118,8 @@ TEST(UndirectedViewTest, MultiplicityCountsParallelEdges) {
 
 TEST(UndirectedViewTest, InducedSubsetOnlySeesMembers) {
   PropertyGraph g = TinyWiki();
-  UndirectedView view(g, {0, 1});  // just the two articles
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr, {0, 1});  // just the two articles
   EXPECT_EQ(view.num_nodes(), 2u);
   EXPECT_EQ(view.num_undirected_edges(), 1u);
   EXPECT_EQ(view.ToLocal(3), UINT32_MAX);
@@ -123,7 +127,8 @@ TEST(UndirectedViewTest, InducedSubsetOnlySeesMembers) {
 
 TEST(UndirectedViewTest, NeighborsSortedAndDeduped) {
   PropertyGraph g = TinyWiki();
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   const auto& neigh = view.Neighbors(view.ToLocal(0));
   EXPECT_TRUE(std::is_sorted(neigh.begin(), neigh.end()));
   // a0's neighbors: a1 (mutual collapsed to one) and c0.
@@ -132,7 +137,8 @@ TEST(UndirectedViewTest, NeighborsSortedAndDeduped) {
 
 TEST(ConnectedComponentsTest, FindsComponentsOrderedBySize) {
   PropertyGraph g = TinyWiki();
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   ComponentsResult cc = ConnectedComponents(view);
   // Components: {a0,a1,c0,c1,a2} (c1 inside c0 connects a2's category) and
   // {r} alone.
@@ -144,7 +150,8 @@ TEST(ConnectedComponentsTest, FindsComponentsOrderedBySize) {
 
 TEST(ConnectedComponentsTest, EmptyView) {
   PropertyGraph g;
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   ComponentsResult cc = ConnectedComponents(view);
   EXPECT_EQ(cc.num_components(), 0u);
   EXPECT_TRUE(cc.LargestComponent().empty());
@@ -152,7 +159,8 @@ TEST(ConnectedComponentsTest, EmptyView) {
 
 TEST(TrianglesTest, CountsTriangleThroughCategory) {
   PropertyGraph g = TinyWiki();
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   TriangleStats stats = CountTriangles(view);
   // Triangle: a0 - a1 - c0.
   EXPECT_EQ(stats.triangle_count, 1u);
@@ -170,7 +178,8 @@ TEST(TrianglesTest, TreeIsTriangleFree) {
   for (int i = 1; i < 7; ++i) {
     ASSERT_TRUE(g.AddEdge(cats[i], cats[(i - 1) / 2], EdgeKind::kInside).ok());
   }
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   TriangleStats stats = CountTriangles(view);
   EXPECT_EQ(stats.triangle_count, 0u);
   EXPECT_DOUBLE_EQ(stats.tpr, 0.0);
@@ -178,7 +187,8 @@ TEST(TrianglesTest, TreeIsTriangleFree) {
 
 TEST(TrianglesTest, RestrictedTpr) {
   PropertyGraph g = TinyWiki();
-  UndirectedView view(g);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
   // Restricted to the triangle's nodes: TPR 1. Restricted to {a2}: 0.
   EXPECT_DOUBLE_EQ(TriangleParticipationRatio(
                        view, {view.ToLocal(0), view.ToLocal(1),

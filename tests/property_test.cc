@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "graph/connected_components.h"
+#include "graph/csr.h"
 #include "graph/cycle_metrics.h"
 #include "graph/cycles.h"
 #include "graph/graph.h"
@@ -60,7 +61,8 @@ class RandomGraphProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomGraphProperty, UndirectedViewIsSymmetric) {
   graph::PropertyGraph g = RandomSchemaGraph(GetParam(), 30, 10, 150);
-  graph::UndirectedView view(g);
+  graph::CsrGraph csr = graph::CsrGraph::Freeze(g);
+  graph::UndirectedView view(csr);
   for (uint32_t u = 0; u < view.num_nodes(); ++u) {
     for (uint32_t v : view.Neighbors(u)) {
       EXPECT_TRUE(view.HasEdge(v, u)) << u << " " << v;
@@ -72,7 +74,8 @@ TEST_P(RandomGraphProperty, UndirectedViewIsSymmetric) {
 
 TEST_P(RandomGraphProperty, MultiplicitySumsToNonRedirectEdges) {
   graph::PropertyGraph g = RandomSchemaGraph(GetParam(), 25, 8, 120);
-  graph::UndirectedView view(g);
+  graph::CsrGraph csr = graph::CsrGraph::Freeze(g);
+  graph::UndirectedView view(csr);
   uint64_t total_multiplicity = 0;
   for (uint32_t u = 0; u < view.num_nodes(); ++u) {
     for (uint32_t v : view.Neighbors(u)) {
@@ -86,7 +89,8 @@ TEST_P(RandomGraphProperty, MultiplicitySumsToNonRedirectEdges) {
 
 TEST_P(RandomGraphProperty, ComponentSizesPartitionNodes) {
   graph::PropertyGraph g = RandomSchemaGraph(GetParam(), 40, 12, 100);
-  graph::UndirectedView view(g);
+  graph::CsrGraph csr = graph::CsrGraph::Freeze(g);
+  graph::UndirectedView view(csr);
   graph::ComponentsResult cc = graph::ConnectedComponents(view);
   uint64_t total = 0;
   for (uint32_t s : cc.size) total += s;
@@ -105,7 +109,8 @@ TEST_P(RandomGraphProperty, ComponentSizesPartitionNodes) {
 
 TEST_P(RandomGraphProperty, EnumeratedCyclesAreValidAndUnique) {
   graph::PropertyGraph g = RandomSchemaGraph(GetParam(), 16, 6, 90);
-  graph::UndirectedView view(g);
+  graph::CsrGraph csr = graph::CsrGraph::Freeze(g);
+  graph::UndirectedView view(csr);
   graph::CycleEnumerator enumerator(view);
   std::set<std::vector<uint32_t>> canonical_seen;
 
@@ -139,7 +144,8 @@ TEST_P(RandomGraphProperty, EnumeratedCyclesAreValidAndUnique) {
 
 TEST_P(RandomGraphProperty, ChordlessCyclesHaveZeroDensity) {
   graph::PropertyGraph g = RandomSchemaGraph(GetParam(), 14, 6, 80);
-  graph::UndirectedView view(g);
+  graph::CsrGraph csr = graph::CsrGraph::Freeze(g);
+  graph::UndirectedView view(csr);
   graph::CycleEnumerator enumerator(view);
   graph::CycleEnumerationOptions options;
   options.chordless_only = true;
@@ -149,7 +155,7 @@ TEST_P(RandomGraphProperty, ChordlessCyclesHaveZeroDensity) {
     for (graph::NodeId n : local.nodes) {
       cycle.nodes.push_back(view.ToGlobal(n));
     }
-    graph::CycleMetrics m = ComputeCycleMetrics(g, cycle);
+    graph::CycleMetrics m = ComputeCycleMetrics(csr, cycle);
     // A chordless cycle can exceed the minimum edge count only through
     // parallel edges (mutual links) on its own perimeter.
     EXPECT_LE(m.num_edges, 2 * m.length);
@@ -158,7 +164,8 @@ TEST_P(RandomGraphProperty, ChordlessCyclesHaveZeroDensity) {
 
 TEST_P(RandomGraphProperty, ChordlessIsSubsetOfAll) {
   graph::PropertyGraph g = RandomSchemaGraph(GetParam(), 14, 6, 80);
-  graph::UndirectedView view(g);
+  graph::CsrGraph csr = graph::CsrGraph::Freeze(g);
+  graph::UndirectedView view(csr);
   graph::CycleEnumerator enumerator(view);
   graph::CycleEnumerationOptions all_options;
   graph::CycleEnumerationOptions chordless_options;
@@ -172,14 +179,15 @@ TEST_P(RandomGraphProperty, ChordlessIsSubsetOfAll) {
 
 TEST_P(RandomGraphProperty, CycleMetricsBounds) {
   graph::PropertyGraph g = RandomSchemaGraph(GetParam(), 16, 8, 100);
-  graph::UndirectedView view(g);
+  graph::CsrGraph csr = graph::CsrGraph::Freeze(g);
+  graph::UndirectedView view(csr);
   graph::CycleEnumerator enumerator(view);
   for (const graph::Cycle& local : enumerator.Enumerate({})) {
     graph::Cycle cycle;
     for (graph::NodeId n : local.nodes) {
       cycle.nodes.push_back(view.ToGlobal(n));
     }
-    graph::CycleMetrics m = ComputeCycleMetrics(g, cycle);
+    graph::CycleMetrics m = ComputeCycleMetrics(csr, cycle);
     EXPECT_EQ(m.num_articles + m.num_categories, m.length);
     EXPECT_GE(m.category_ratio, 0.0);
     EXPECT_LE(m.category_ratio, 1.0);

@@ -139,7 +139,9 @@ class SyntheticWikipediaTest : public ::testing::Test {
       options.num_domains = 24;
       auto result = GenerateSyntheticWikipedia(options);
       EXPECT_TRUE(result.ok()) << result.status();
-      return new SyntheticWikipedia(std::move(result).ValueOrDie());
+      auto* wiki = new SyntheticWikipedia(std::move(result).ValueOrDie());
+      wiki->kb.Freeze();  // structural reads below take the snapshot path
+      return wiki;
     }();
     return *kWiki;
   }
@@ -160,7 +162,7 @@ TEST_F(SyntheticWikipediaTest, ValidatesAndHasExpectedShape) {
 TEST_F(SyntheticWikipediaTest, ReciprocalRateNearPaperValue) {
   // The paper measures 11.47% on real Wikipedia; the generator is
   // calibrated to land in the same regime.
-  double rate = graph::ReciprocalLinkRate(Wiki().kb.graph());
+  double rate = graph::ReciprocalLinkRate(Wiki().kb.csr());
   EXPECT_GT(rate, 0.06);
   EXPECT_LT(rate, 0.20);
 }
