@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<name>.json files and flag performance regressions.
+
+Closes the bench-trajectory loop: perf benches emit machine-readable
+records (see bench/bench_common.h); this tool compares a baseline file
+against a current one and exits non-zero when any matched record
+regressed by more than the threshold (default 10%).
+
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Records are matched by (name, metric, config).  Direction is inferred
+from the metric:
+
+  - time metrics (real_time_*, *_ms/_us/_ns) .... lower is better
+  - speedup metrics (speedup_*) ................. higher is better
+  - everything else (counters like `cycles`) .... informational only;
+    reported when it drifts, never a failure (workload sizes are config
+    constants — a drift usually means the bench itself changed).
+
+Records present in only one file are reported but do not fail the run
+(benches gain and retire cases across PRs).  CI wires this into the
+bench-smoke job whenever a baseline file is present, plus a self-compare
+(current vs current) so the comparator itself cannot silently rot.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "bench" not in data or "results" not in data:
+        sys.exit(f"{path}: not a BENCH_<name>.json file")
+    records = {}
+    for r in data["results"]:
+        records[(r["name"], r["metric"], r["config"])] = float(r["value"])
+    return data["bench"], records
+
+
+def direction(metric):
+    """-1: lower is better, +1: higher is better, 0: informational."""
+    if metric.startswith("real_time_") or metric.endswith(("_ms", "_us", "_ns")):
+        return -1
+    if metric.startswith("speedup"):
+        return +1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression tolerance (default 0.10)")
+    args = parser.parse_args()
+
+    base_bench, base = load(args.baseline)
+    cur_bench, cur = load(args.current)
+    if base_bench != cur_bench:
+        sys.exit(f"bench mismatch: baseline is '{base_bench}', "
+                 f"current is '{cur_bench}'")
+
+    regressions, notes = [], []
+    for key in sorted(base.keys() & cur.keys()):
+        b, c = base[key], cur[key]
+        sign = direction(key[1])
+        if sign == 0:
+            if b != c:
+                notes.append(f"  info  {'/'.join(key)}: {b:g} -> {c:g}")
+            continue
+        if b <= 0:
+            continue  # no meaningful ratio
+        # Relative change in the "worse" direction.
+        worse = (c - b) / b if sign < 0 else (b - c) / b
+        line = (f"{'/'.join(key)}: {b:.4g} -> {c:.4g} "
+                f"({(c - b) / b:+.1%})")
+        if worse > args.threshold:
+            regressions.append("  REGRESSION  " + line)
+        elif abs(c - b) / b > args.threshold:
+            notes.append("  improved    " + line)
+
+    only_base = sorted(base.keys() - cur.keys())
+    only_cur = sorted(cur.keys() - base.keys())
+    for key in only_base:
+        notes.append(f"  removed     {'/'.join(key)}")
+    for key in only_cur:
+        notes.append(f"  added       {'/'.join(key)}")
+
+    matched = len(base.keys() & cur.keys())
+    print(f"bench_compare: '{cur_bench}', {matched} matched records, "
+          f"threshold {args.threshold:.0%}")
+    for line in notes:
+        print(line)
+    if regressions:
+        print(f"{len(regressions)} regression(s):")
+        for line in regressions:
+            print(line)
+        sys.exit(1)
+    print("no regressions")
+
+
+if __name__ == "__main__":
+    main()

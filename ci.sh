@@ -11,14 +11,16 @@ cd build && ctest --output-on-failure -j
 cd ..
 
 # Bench smoke: Release tree (the perf numbers people quote), smallest
-# cycle-enumeration configs, hard-failing on crash or malformed JSON so
-# the perf benches and their machine-readable output can't silently rot.
+# cycle-enumeration configs (sequential, legacy, and a 2-thread parallel
+# run whose setup hard-asserts bit-identical cycles), hard-failing on
+# crash or malformed JSON so the perf benches and their machine-readable
+# output can't silently rot.
 cmake -B build-bench -S . -DWQE_WERROR=ON -DCMAKE_BUILD_TYPE=Release \
   -DWQE_BUILD_TESTS=OFF -DWQE_BUILD_EXAMPLES=OFF
 cmake --build build-bench -j --target wqe_bench_perf_cycle_enumeration
 cd build-bench
 ./wqe_bench_perf_cycle_enumeration \
-  --benchmark_filter='BM_CycleEnumerationBall(Legacy)?/3/100$' \
+  --benchmark_filter='BM_CycleEnumerationBall(Legacy|Parallel/2)?/3/100$' \
   --benchmark_min_time=0.05
 python3 - <<'EOF'
 import json
@@ -32,16 +34,30 @@ for r in results:
     assert isinstance(r['value'], (int, float)), r
 assert any(r['metric'] == 'speedup_vs_legacy' for r in results), \
     'missing CSR-vs-legacy speedup record'
+assert any(r['metric'] == 'speedup_vs_sequential' for r in results), \
+    'missing parallel-vs-sequential speedup record'
 print(f'bench smoke OK: {len(results)} records')
 EOF
+# Bench trajectory: the comparator always self-checks (a file must never
+# regress against itself), and gates against a committed baseline when
+# one is present (drop a BENCH_*.json into bench/baselines/ to arm it).
+python3 ../bench/bench_compare.py \
+  BENCH_perf_cycle_enumeration.json BENCH_perf_cycle_enumeration.json
+if [ -f ../bench/baselines/BENCH_perf_cycle_enumeration.json ]; then
+  python3 ../bench/bench_compare.py \
+    ../bench/baselines/BENCH_perf_cycle_enumeration.json \
+    BENCH_perf_cycle_enumeration.json
+fi
 cd ..
 
 # ThreadSanitizer pass over the concurrency subsystem (tests only; the
 # benches and examples don't add coverage and double the build).  Debug
-# so NDEBUG is off and the WQE_DCHECK contracts (registry freeze) are
-# live — the main build's RelWithDebInfo compiles them out.
+# so NDEBUG is off and the WQE_DCHECK contracts (registry freeze, nested
+# fan-out) are live — the main build's RelWithDebInfo compiles them out.
+# cycles_test rides along for the parallel-enumerator stress case
+# (chunk cursor, prefix budget, buffer handoff under TSan).
 cmake -B build-tsan -S . -DWQE_TSAN=ON -DWQE_WERROR=ON \
   -DCMAKE_BUILD_TYPE=Debug \
   -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j
-cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test'
+cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test'

@@ -1,11 +1,13 @@
 #include "analysis/query_graph_analysis.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/macros.h"
 #include "groundtruth/xq_optimizer.h"
+#include "serve/thread_pool.h"
 
 namespace wqe::analysis {
 
@@ -17,7 +19,24 @@ size_t TopicAnalysis::CountCycles(uint32_t length) const {
   return n;
 }
 
+QueryGraphAnalyzer::QueryGraphAnalyzer(const groundtruth::Pipeline* pipeline,
+                                       const groundtruth::GroundTruth* gt,
+                                       AnalyzerOptions options)
+    : pipeline_(pipeline), gt_(gt), options_(options) {
+  // 0 = inherit: the pipeline is the fixture that knows how much hardware
+  // the experiment may use; explicit analyzer options always win.
+  if (options_.num_threads == 0) {
+    options_.num_threads = pipeline_->num_threads();
+  }
+  if (options_.pool == nullptr) options_.pool = pipeline_->pool();
+}
+
 Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
+  return AnalyzeImpl(topic_index, options_.num_threads, options_.pool);
+}
+
+Result<TopicAnalysis> QueryGraphAnalyzer::AnalyzeImpl(
+    size_t topic_index, uint32_t num_threads, serve::ThreadPool* pool) const {
   if (topic_index >= gt_->entries.size()) {
     return Status::OutOfRange("topic index ", topic_index, " out of range");
   }
@@ -82,12 +101,20 @@ Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
   }
 
   // --- Cycles touching a query article. ---
+  // Large topic balls parallelize the enumeration and the per-cycle
+  // metrics (direct Analyze calls only: the AnalyzeAll fan-out hands
+  // every participant num_threads = 1 here, and pool workers degrade
+  // defensively anyway).
   graph::CycleEnumerationOptions cycle_options;
   cycle_options.min_length = kMinCycleLength;
   cycle_options.max_length = kMaxCycleLength;
   cycle_options.seeds = qg.query_articles;
+  cycle_options.num_threads = num_threads;
+  cycle_options.pool = pool;
   graph::CycleEnumerator enumerator(view);
   std::vector<graph::Cycle> cycles = enumerator.Enumerate(cycle_options);
+  std::vector<graph::CycleMetrics> metrics =
+      graph::ComputeCycleMetricsBatch(csr, cycles, num_threads, pool);
 
   // Contribution: O(L(q.k) ∪ articles(C)) vs O(L(q.k)); categories in C are
   // ignored (paper footnote 3). Memoized by article set.
@@ -99,10 +126,11 @@ Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
 
   std::unordered_map<std::string, double> memo;
   size_t scored = 0;
-  for (graph::Cycle& cycle : cycles) {
+  for (size_t ci = 0; ci < cycles.size(); ++ci) {
+    graph::Cycle& cycle = cycles[ci];
     CycleRecord record;
     // The view's globals are KB node ids already.
-    record.metrics = ComputeCycleMetrics(csr, cycle);
+    record.metrics = metrics[ci];
 
     // Articles of this cycle (KB ids), for Table 4's length buckets.
     std::vector<NodeId> cycle_articles;
@@ -168,11 +196,45 @@ Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
 }
 
 Result<std::vector<TopicAnalysis>> QueryGraphAnalyzer::AnalyzeAll() const {
+  const size_t num_topics = gt_->entries.size();
+  const uint32_t threads =
+      serve::EffectiveParallelism(options_.num_threads, options_.pool);
+  if (threads <= 1 || num_topics < 2) {
+    std::vector<TopicAnalysis> out;
+    out.reserve(num_topics);
+    for (size_t t = 0; t < num_topics; ++t) {
+      WQE_ASSIGN_OR_RETURN(TopicAnalysis a, Analyze(t));
+      out.push_back(std::move(a));
+    }
+    return out;
+  }
+
+  // Fan topics across the pool (atomic-cursor stealing: topic cost is
+  // wildly skewed by ball size).  Every participant — including this
+  // thread — analyzes its topics with in-ball parallelism off: the pool
+  // is already saturated with topic work, so nesting would only queue
+  // sub-tasks behind whole topics (or spawn transient pools per topic).
+  // Results land in topic order; errors are all collected and the lowest
+  // failing index reports, matching the first error a sequential run
+  // would return.
+  std::vector<Result<TopicAnalysis>> results(
+      num_topics, Result<TopicAnalysis>(TopicAnalysis{}));
+  std::atomic<size_t> cursor{0};
+  serve::RunParallel(options_.pool,
+                     std::min<size_t>(threads - 1, num_topics - 1), [&] {
+                       for (;;) {
+                         const size_t t =
+                             cursor.fetch_add(1, std::memory_order_relaxed);
+                         if (t >= num_topics) return;
+                         results[t] = AnalyzeImpl(t, 1, nullptr);
+                       }
+                     });
+
   std::vector<TopicAnalysis> out;
-  out.reserve(gt_->entries.size());
-  for (size_t t = 0; t < gt_->entries.size(); ++t) {
-    WQE_ASSIGN_OR_RETURN(TopicAnalysis a, Analyze(t));
-    out.push_back(std::move(a));
+  out.reserve(num_topics);
+  for (size_t t = 0; t < num_topics; ++t) {
+    if (!results[t].ok()) return results[t].status();
+    out.push_back(std::move(*results[t]));
   }
   return out;
 }

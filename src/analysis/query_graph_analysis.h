@@ -70,23 +70,48 @@ struct AnalyzerOptions {
   /// cap the number of cycles scored per topic (0 = unlimited). Cycle
   /// *counts* (Fig 6) always use the full enumeration.
   size_t max_scored_cycles = 4000;
+
+  /// Analysis threads: 1 = sequential, 0 (default) = inherit the
+  /// pipeline's `num_threads` knob.  `AnalyzeAll` fans topics across the
+  /// pool; a direct `Analyze` call parallelizes *within* the topic ball
+  /// (cycle enumeration + metrics).  The two never nest: the fan-out
+  /// hands every participant — pool workers and the calling thread —
+  /// sequential in-ball settings, so topic work neither deadlocks on
+  /// pool capacity nor queues sub-tasks behind whole topics.
+  uint32_t num_threads = 0;
+  /// Pool to run on (borrowed); null inherits the pipeline's pool, and a
+  /// transient pool is spawned when neither exists.
+  serve::ThreadPool* pool = nullptr;
 };
 
 /// \brief Per-topic analyzer bound to a pipeline + ground truth.
+/// Analysis calls are const and thread-safe (the pipeline is immutable
+/// after Build).
 class QueryGraphAnalyzer {
  public:
   QueryGraphAnalyzer(const groundtruth::Pipeline* pipeline,
                      const groundtruth::GroundTruth* gt,
-                     AnalyzerOptions options = {})
-      : pipeline_(pipeline), gt_(gt), options_(options) {}
+                     AnalyzerOptions options = {});
 
   /// \brief Full analysis of one topic.
   Result<TopicAnalysis> Analyze(size_t topic_index) const;
 
-  /// \brief Analyses for all topics.
+  /// \brief Analyses for all topics.  With `num_threads != 1` topics run
+  /// in parallel; output is element-wise identical to the sequential run
+  /// (each topic's analysis is a pure function of the immutable
+  /// pipeline), and on failure the lowest failing topic index reports —
+  /// the same error a sequential run would surface first.
   Result<std::vector<TopicAnalysis>> AnalyzeAll() const;
 
  private:
+  /// One topic with an explicit in-ball parallelism setting: `Analyze`
+  /// passes the configured knobs, the `AnalyzeAll` fan-out passes
+  /// (1, nullptr) so every participant — pool workers *and* the calling
+  /// thread — analyzes its topics sequentially instead of contending for
+  /// the pool the fan-out itself saturates.
+  Result<TopicAnalysis> AnalyzeImpl(size_t topic_index, uint32_t num_threads,
+                                    serve::ThreadPool* pool) const;
+
   const groundtruth::Pipeline* pipeline_;
   const groundtruth::GroundTruth* gt_;
   AnalyzerOptions options_;

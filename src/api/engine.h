@@ -31,6 +31,10 @@
 #include "linking/entity_linker.h"
 #include "wiki/knowledge_base.h"
 
+namespace wqe::serve {
+class ThreadPool;  // fwd: the engine owns one for intra-query enumeration
+}  // namespace wqe::serve
+
 namespace wqe::api {
 
 /// \brief Facade configuration.  The knowledge base itself is passed to
@@ -45,6 +49,15 @@ struct EngineOptions {
   std::string default_expander = "cycle";
   /// Result count when a query request asks for 0.
   size_t default_top_k = 15;
+  /// Threads for *intra-request* cycle enumeration (1 = sequential
+  /// default, 0 = one per hardware thread).  When != 1 the engine owns a
+  /// `serve::ThreadPool` and injects it into the cycle strategy's
+  /// defaults, so single expensive queries parallelize without spawning
+  /// a pool per request.  Responses are bit-identical at any setting.
+  /// Under a `serve::Server` this knob is inert by design: requests run
+  /// on server workers, where nested enumeration degrades to sequential
+  /// (request-level parallelism already saturates the pool).
+  uint32_t enumeration_threads = 1;
 };
 
 /// \brief One expansion request.
@@ -108,6 +121,9 @@ class Engine {
   /// strategy must resolve).
   static Result<std::unique_ptr<Engine>> Build(wiki::KnowledgeBase kb,
                                                EngineOptions options = {});
+
+  /// Out of line: members own a forward-declared `serve::ThreadPool`.
+  ~Engine();
 
   /// \name Corpus
   /// @{
@@ -191,6 +207,9 @@ class Engine {
   const ir::SearchEngine& search_engine() const { return *search_; }
   const EngineOptions& options() const { return options_; }
   const EngineStats& stats() const { return stats_; }
+  /// \brief The engine-owned enumeration pool; null unless
+  /// `EngineOptions::enumeration_threads != 1`.
+  serve::ThreadPool* enumeration_pool() const { return enum_pool_.get(); }
   /// @}
 
  private:
@@ -216,6 +235,9 @@ class Engine {
   wiki::KnowledgeBase kb_;
   std::unique_ptr<linking::EntityLinker> linker_;
   std::unique_ptr<ir::SearchEngine> search_;
+  /// Declared before the registry: factories capture the pool pointer in
+  /// their defaults, so it must outlive every expander they build.
+  std::unique_ptr<serve::ThreadPool> enum_pool_;
   ExpanderRegistry registry_;
   mutable EngineStats stats_;
   mutable std::atomic<bool> registry_locked_{false};

@@ -44,6 +44,8 @@ Result<std::vector<NodeId>> CycleExpander::SelectFeatures(
   enum_options.max_length = options_.max_cycle_length;
   enum_options.seeds = query_articles;
   enum_options.max_cycles = options_.max_cycles;
+  enum_options.num_threads = options_.num_threads;
+  enum_options.pool = options_.pool;
   graph::CycleEnumerator enumerator(view);
 
   // 3. Accumulate per-article, per-length quality-weighted cycle counts.

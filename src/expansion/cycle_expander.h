@@ -14,6 +14,10 @@
 #include "expansion/expander.h"
 #include "graph/cycle_metrics.h"
 
+namespace wqe::serve {
+class ThreadPool;  // fwd: the expander only hands the pool to the enumerator
+}  // namespace wqe::serve
+
 namespace wqe::expansion {
 
 /// \brief Filter and ranking knobs (defaults = the paper's findings).
@@ -68,6 +72,18 @@ struct CycleExpanderOptions {
   /// edge), so they are reachable only through this explicit opt-in.
   bool include_redirect_aliases = false;
   size_t max_alias_features = 3;
+
+  /// Threads for the enumeration over the neighborhood ball (1 =
+  /// sequential, 0 = auto; see graph/cycles.h).  Purely an execution
+  /// knob — features are bit-identical at any count — so it is *not* an
+  /// `ExpanderOverrides` field: it must never split serving-cache keys.
+  /// Requests served from a `serve::Server` worker degrade to sequential
+  /// (request-level parallelism already owns the pool there).
+  uint32_t num_threads = 1;
+  /// Pool the enumeration borrows; `api::Engine::Build` injects its own
+  /// when `EngineOptions::enumeration_threads != 1` so per-request calls
+  /// never spawn transient pools.
+  serve::ThreadPool* pool = nullptr;
 };
 
 /// \brief Dense-cycle expansion system.

@@ -1,28 +1,42 @@
 #include "graph/cycles.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "serve/thread_pool.h"
 
 namespace wqe::graph {
 
 namespace {
 
-/// DFS state for one enumeration run.
+/// DFS state for one enumeration run (one thread's worth: the parallel
+/// path gives every worker its own context over the shared view).
+///
+/// `sink` receives each surviving cycle path; returning false aborts this
+/// context's enumeration.  The sequential path wires the user visitor plus
+/// emission counting straight in; parallel workers wire a buffer append.
 struct DfsContext {
   const UndirectedView* view;
   const CycleEnumerationOptions* options;
-  const CycleVisitor* visitor;
-  std::vector<bool> is_seed;       ///< by local id (empty = no filter)
+  const std::vector<bool>* is_seed;  ///< by local id (null = no filter)
+  std::function<bool(const std::vector<uint32_t>&)> sink;
   std::vector<bool> on_path;
   std::vector<uint32_t> path;
-  size_t emitted = 0;
   bool aborted = false;
 
-  bool SeedFilterEnabled() const { return !is_seed.empty(); }
+  void Init(const UndirectedView& v, const CycleEnumerationOptions& o,
+            const std::vector<bool>* seeds) {
+    view = &v;
+    options = &o;
+    is_seed = seeds;
+    on_path.assign(v.num_nodes(), false);
+  }
 
   bool PathTouchesSeed() const {
-    if (!SeedFilterEnabled()) return true;
+    if (is_seed == nullptr) return true;
     for (uint32_t v : path) {
-      if (is_seed[v]) return true;
+      if ((*is_seed)[v]) return true;
     }
     return false;
   }
@@ -45,14 +59,33 @@ struct DfsContext {
     if (options->chordless_only && path.size() >= 4 && !PathIsChordless()) {
       return;
     }
-    ++emitted;
-    if (!(*visitor)(path)) {
-      aborted = true;
-      return;
+    if (!sink(path)) aborted = true;
+  }
+
+  /// Length-2 cycles starting at `u`: adjacent pairs (u, v > u) with >= 2
+  /// parallel edges, read straight off the multiplicity row.
+  void Length2ForStart(uint32_t u) {
+    std::span<const uint32_t> neighbors = view->Neighbors(u);
+    std::span<const uint32_t> mults = view->Multiplicities(u);
+    size_t first = std::upper_bound(neighbors.begin(), neighbors.end(), u) -
+                   neighbors.begin();
+    for (size_t i = first; i < neighbors.size() && !aborted; ++i) {
+      if (mults[i] >= 2) {
+        path = {u, neighbors[i]};
+        Emit();
+      }
     }
-    if (options->max_cycles != 0 && emitted >= options->max_cycles) {
-      aborted = true;
-    }
+    path.clear();
+  }
+
+  /// Canonical DFS rooted at `s` (cycles of length >= 3 whose minimum
+  /// node is `s`).
+  void DfsForStart(uint32_t s) {
+    path.assign(1, s);
+    on_path[s] = true;
+    Extend(s, s);
+    on_path[s] = false;
+    path.clear();
   }
 
   /// Extends the path (whose last node is `u`); `start` is path[0].
@@ -89,68 +122,266 @@ struct DfsContext {
   }
 };
 
+/// Builds the shared local-id seed mask; empty optional-equivalent is a
+/// null pointer at the call sites.
+std::vector<bool> BuildSeedMask(const UndirectedView& view,
+                                const CycleEnumerationOptions& options) {
+  std::vector<bool> is_seed(view.num_nodes(), false);
+  for (NodeId g : options.seeds) {
+    uint32_t local = view.ToLocal(g);
+    if (local != UINT32_MAX) is_seed[local] = true;
+  }
+  return is_seed;
+}
+
+/// One chunk's output.  Cycles are stored flattened (lengths + node data)
+/// to keep the collection allocation-light; the two phases are kept in
+/// separate streams because the sequential enumerator emits *all*
+/// length-2 cycles (by start) before *any* DFS cycle.
+struct ChunkBuffer {
+  std::vector<uint32_t> len2_lengths;  // always 2; kept for uniform replay
+  std::vector<uint32_t> len2_nodes;
+  std::vector<uint32_t> dfs_lengths;
+  std::vector<uint32_t> dfs_nodes;
+
+  size_t num_len2() const { return len2_lengths.size(); }
+};
+
+/// Degree-balanced [begin, end) start ranges.  Weight of a start ~ its
+/// degree (drives both the length-2 row scan and the DFS fan-out); more
+/// chunks than threads so the atomic-cursor steal loop can rebalance
+/// skewed high-degree chunks.
+std::vector<std::pair<uint32_t, uint32_t>> BuildChunks(
+    const UndirectedView& view, uint32_t threads, uint32_t max_starts) {
+  const uint32_t n = view.num_nodes();
+  uint64_t total_weight = 0;
+  for (uint32_t s = 0; s < n; ++s) total_weight += 1 + view.Degree(s);
+  const uint64_t target = std::max<uint64_t>(
+      1, total_weight / (static_cast<uint64_t>(threads) * 8));
+
+  std::vector<std::pair<uint32_t, uint32_t>> chunks;
+  uint32_t begin = 0;
+  uint64_t weight = 0;
+  for (uint32_t s = 0; s < n; ++s) {
+    weight += 1 + view.Degree(s);
+    const uint32_t count = s + 1 - begin;
+    if (weight >= target || (max_starts != 0 && count >= max_starts)) {
+      chunks.emplace_back(begin, s + 1);
+      begin = s + 1;
+      weight = 0;
+    }
+  }
+  if (begin < n) chunks.emplace_back(begin, n);
+  return chunks;
+}
+
+/// Tracks which prefix of the chunk sequence is fully enumerated and how
+/// many *first-stream* cycles it produced (the length-2 stream when one
+/// exists, else the DFS stream — whichever merges first).  Used as the
+/// shared `max_cycles` budget: once the *completed prefix* alone holds
+/// `max_cycles` first-stream cycles, every not-yet-started chunk's
+/// entire output falls past the truncation point — chunks are claimed in
+/// ascending order, so any chunk a worker is about to claim can be
+/// skipped outright.  Conservative (in-flight chunks keep running), but
+/// sound: the merge step still truncates at exactly `max_cycles`.
+struct PrefixBudget {
+  std::mutex mu;
+  std::vector<uint8_t> done;
+  size_t next_prefix = 0;
+  bool count_len2;  ///< which stream merges first
+  std::atomic<size_t> prefix_count{0};
+
+  PrefixBudget(size_t num_chunks, bool want_len2)
+      : done(num_chunks, 0), count_len2(want_len2) {}
+
+  void MarkDone(size_t chunk, const std::vector<ChunkBuffer>& buffers) {
+    std::lock_guard<std::mutex> lock(mu);
+    done[chunk] = 1;
+    size_t count = prefix_count.load(std::memory_order_relaxed);
+    while (next_prefix < done.size() && done[next_prefix]) {
+      const ChunkBuffer& b = buffers[next_prefix];
+      count += count_len2 ? b.num_len2() : b.dfs_lengths.size();
+      ++next_prefix;
+    }
+    prefix_count.store(count, std::memory_order_release);
+  }
+
+  bool Exhausted(size_t max_cycles) const {
+    return max_cycles != 0 &&
+           prefix_count.load(std::memory_order_acquire) >= max_cycles;
+  }
+};
+
+/// Appends `path` to `lengths`/`nodes`, honoring the per-chunk cap: one
+/// chunk never needs to contribute more than `max_cycles` cycles to
+/// either merged stream, because the final output holds at most that many
+/// in total.  Returns false once the cap is hit (stops that phase's
+/// enumeration for the chunk).
+bool AppendCapped(const std::vector<uint32_t>& path, size_t max_cycles,
+                  std::vector<uint32_t>* lengths,
+                  std::vector<uint32_t>* nodes) {
+  lengths->push_back(static_cast<uint32_t>(path.size()));
+  nodes->insert(nodes->end(), path.begin(), path.end());
+  return max_cycles == 0 || lengths->size() < max_cycles;
+}
+
+}  // namespace
+
+size_t CycleEnumerator::SequentialVisit(const CycleEnumerationOptions& options,
+                                        const CycleVisitor& visitor) const {
+  const uint32_t n = view_->num_nodes();
+  std::vector<bool> seed_mask;
+  if (!options.seeds.empty()) seed_mask = BuildSeedMask(*view_, options);
+
+  DfsContext ctx;
+  ctx.Init(*view_, options, options.seeds.empty() ? nullptr : &seed_mask);
+  size_t emitted = 0;
+  ctx.sink = [&](const std::vector<uint32_t>& path) {
+    ++emitted;
+    if (!visitor(path)) return false;
+    return options.max_cycles == 0 || emitted < options.max_cycles;
+  };
+
+  if (options.min_length <= 2 && options.max_length >= 2) {
+    for (uint32_t u = 0; u < n && !ctx.aborted; ++u) ctx.Length2ForStart(u);
+  }
+  if (options.max_length >= 3) {
+    for (uint32_t s = 0; s < n && !ctx.aborted; ++s) ctx.DfsForStart(s);
+  }
+  return emitted;
+}
+
+size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
+                                      const CycleVisitor& visitor) const {
+  const uint32_t threads =
+      serve::EffectiveParallelism(options.num_threads, options.pool);
+  const uint32_t n = view_->num_nodes();
+  if (threads <= 1 || n < 2) return SequentialVisit(options, visitor);
+
+  std::vector<std::pair<uint32_t, uint32_t>> chunks =
+      BuildChunks(*view_, threads, options.parallel_chunk_starts);
+  if (chunks.size() <= 1) return SequentialVisit(options, visitor);
+
+  std::vector<bool> seed_mask;
+  const std::vector<bool>* seeds = nullptr;
+  if (!options.seeds.empty()) {
+    seed_mask = BuildSeedMask(*view_, options);
+    seeds = &seed_mask;
+  }
+  const bool want_len2 = options.min_length <= 2 && options.max_length >= 2;
+  const bool want_dfs = options.max_length >= 3;
+
+  std::vector<ChunkBuffer> buffers(chunks.size());
+  std::atomic<size_t> cursor{0};
+  PrefixBudget budget(chunks.size(), want_len2);
+
+  auto worker = [&] {
+    DfsContext ctx;
+    ctx.Init(*view_, options, seeds);
+    for (;;) {
+      const size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks.size()) return;
+      ChunkBuffer& out = buffers[c];
+      if (!budget.Exhausted(options.max_cycles)) {
+        const auto [begin, end] = chunks[c];
+        if (want_len2) {
+          ctx.aborted = false;
+          ctx.sink = [&](const std::vector<uint32_t>& path) {
+            return AppendCapped(path, options.max_cycles, &out.len2_lengths,
+                                &out.len2_nodes);
+          };
+          for (uint32_t u = begin; u < end && !ctx.aborted; ++u) {
+            ctx.Length2ForStart(u);
+          }
+        }
+        if (want_dfs) {
+          ctx.aborted = false;
+          ctx.sink = [&](const std::vector<uint32_t>& path) {
+            return AppendCapped(path, options.max_cycles, &out.dfs_lengths,
+                                &out.dfs_nodes);
+          };
+          for (uint32_t s = begin; s < end && !ctx.aborted; ++s) {
+            if (budget.Exhausted(options.max_cycles)) break;
+            ctx.DfsForStart(s);
+          }
+        }
+      }
+      budget.MarkDone(c, buffers);
+    }
+  };
+
+  // The calling thread enumerates too; extra workers come from the
+  // caller's pool or a transient one (EffectiveParallelism has already
+  // guaranteed this thread is not a pool worker, so blocking on the
+  // join cannot deadlock the pool).
+  serve::RunParallel(options.pool,
+                     std::min<size_t>(threads - 1, chunks.size() - 1), worker);
+
+  // Deterministic merge + replay: all length-2 streams in chunk (= start)
+  // order, then all DFS streams — exactly the sequential emission order —
+  // with the visitor/max_cycles contract applied on this thread.
+  size_t emitted = 0;
+  std::vector<uint32_t> scratch;
+  auto feed = [&](const std::vector<uint32_t>& lengths,
+                  const std::vector<uint32_t>& nodes) {
+    size_t offset = 0;
+    for (uint32_t len : lengths) {
+      scratch.assign(nodes.begin() + static_cast<ptrdiff_t>(offset),
+                     nodes.begin() + static_cast<ptrdiff_t>(offset + len));
+      offset += len;
+      ++emitted;
+      if (!visitor(scratch)) return false;
+      if (options.max_cycles != 0 && emitted >= options.max_cycles) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const ChunkBuffer& b : buffers) {
+    if (!feed(b.len2_lengths, b.len2_nodes)) return emitted;
+  }
+  for (const ChunkBuffer& b : buffers) {
+    if (!feed(b.dfs_lengths, b.dfs_nodes)) return emitted;
+  }
+  return emitted;
+}
+
+namespace {
+
+/// Visitor that materializes each local-id path as a global-id Cycle.
+CycleVisitor CollectInto(const UndirectedView& view, std::vector<Cycle>* out) {
+  return [&view, out](const std::vector<uint32_t>& local_cycle) {
+    Cycle c;
+    c.nodes.reserve(local_cycle.size());
+    for (uint32_t local : local_cycle) {
+      c.nodes.push_back(view.ToGlobal(local));
+    }
+    out->push_back(std::move(c));
+    return true;
+  };
+}
+
 }  // namespace
 
 size_t CycleEnumerator::Visit(const CycleEnumerationOptions& options,
                               const CycleVisitor& visitor) const {
-  const uint32_t n = view_->num_nodes();
-  DfsContext ctx;
-  ctx.view = view_;
-  ctx.options = &options;
-  ctx.visitor = &visitor;
-  if (!options.seeds.empty()) {
-    ctx.is_seed.assign(n, false);
-    for (NodeId g : options.seeds) {
-      uint32_t local = view_->ToLocal(g);
-      if (local != UINT32_MAX) ctx.is_seed[local] = true;
-    }
+  if (serve::EffectiveParallelism(options.num_threads, options.pool) > 1) {
+    return ParallelVisit(options, visitor);
   }
-  ctx.on_path.assign(n, false);
-
-  // Length-2 cycles: adjacent pairs with >= 2 parallel edges, read straight
-  // off the parallel multiplicity row.
-  if (options.min_length <= 2 && options.max_length >= 2) {
-    for (uint32_t u = 0; u < n && !ctx.aborted; ++u) {
-      std::span<const uint32_t> neighbors = view_->Neighbors(u);
-      std::span<const uint32_t> mults = view_->Multiplicities(u);
-      size_t first =
-          std::upper_bound(neighbors.begin(), neighbors.end(), u) -
-          neighbors.begin();
-      for (size_t i = first; i < neighbors.size(); ++i) {
-        if (mults[i] >= 2) {
-          ctx.path = {u, neighbors[i]};
-          ctx.Emit();
-          if (ctx.aborted) break;
-        }
-      }
-    }
-    ctx.path.clear();
-  }
-
-  // Length >= 3: canonical DFS from every start node.
-  if (options.max_length >= 3 && !ctx.aborted) {
-    for (uint32_t s = 0; s < n && !ctx.aborted; ++s) {
-      ctx.path.assign(1, s);
-      ctx.on_path[s] = true;
-      ctx.Extend(s, s);
-      ctx.on_path[s] = false;
-    }
-  }
-  return ctx.emitted;
+  return SequentialVisit(options, visitor);
 }
 
 std::vector<Cycle> CycleEnumerator::Enumerate(
     const CycleEnumerationOptions& options) const {
   std::vector<Cycle> out;
-  Visit(options, [&](const std::vector<uint32_t>& local_cycle) {
-    Cycle c;
-    c.nodes.reserve(local_cycle.size());
-    for (uint32_t local : local_cycle) {
-      c.nodes.push_back(view_->ToGlobal(local));
-    }
-    out.push_back(std::move(c));
-    return true;
-  });
+  Visit(options, CollectInto(*view_, &out));
+  return out;
+}
+
+std::vector<Cycle> CycleEnumerator::ParallelEnumerate(
+    const CycleEnumerationOptions& options) const {
+  std::vector<Cycle> out;
+  ParallelVisit(options, CollectInto(*view_, &out));
   return out;
 }
 

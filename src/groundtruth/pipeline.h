@@ -27,6 +27,10 @@
 #include "linking/entity_linker.h"
 #include "wiki/synthetic.h"
 
+namespace wqe::serve {
+class ThreadPool;  // fwd: the fixture only owns and hands down a pool
+}  // namespace wqe::serve
+
 namespace wqe::groundtruth {
 
 /// \brief Aggregated configuration.
@@ -35,6 +39,12 @@ struct PipelineOptions {
   clef::TrackGeneratorOptions track;
   ir::SearchEngineOptions engine;
   linking::EntityLinkerOptions linker;
+  /// Worker threads for the §3 analysis consumers (cycle enumeration,
+  /// per-topic fan-out): 1 = sequential (default), 0 = one per hardware
+  /// thread.  When != 1 the pipeline owns a `serve::ThreadPool` that
+  /// `analysis::QueryGraphAnalyzer` inherits — one pool per experiment
+  /// instead of one per call.
+  uint32_t num_threads = 1;
 };
 
 /// \brief Built experiment context (immutable after Build).
@@ -44,6 +54,9 @@ class Pipeline {
   /// the document text, and resolves the relevance judgments.
   static Result<std::unique_ptr<Pipeline>> Build(
       const PipelineOptions& options);
+
+  /// Out of line: owns a forward-declared `serve::ThreadPool`.
+  ~Pipeline();
 
   const wiki::SyntheticWikipedia& wiki() const { return wiki_; }
   const wiki::KnowledgeBase& kb() const { return wiki_.kb; }
@@ -62,6 +75,12 @@ class Pipeline {
     return engine_->store().Get(doc).text;
   }
 
+  /// \brief The configured analysis thread count (resolved: never 0).
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// \brief The experiment-shared analysis pool; null when sequential.
+  serve::ThreadPool* pool() const { return pool_.get(); }
+
  private:
   Pipeline() = default;
 
@@ -70,6 +89,8 @@ class Pipeline {
   std::unique_ptr<ir::SearchEngine> engine_;
   std::unique_ptr<linking::EntityLinker> linker_;
   std::vector<ir::RelevantSet> relevant_;
+  uint32_t num_threads_ = 1;
+  std::unique_ptr<serve::ThreadPool> pool_;  ///< null when num_threads_ == 1
 };
 
 }  // namespace wqe::groundtruth

@@ -1,8 +1,18 @@
 #include "serve/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 namespace wqe::serve {
+
+namespace {
+/// Set for the lifetime of WorkerLoop; never cleared mid-run, so a task
+/// can always identify the pool it is running on.
+thread_local ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
+ThreadPool* ThreadPool::CurrentWorkerPool() { return t_current_pool; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -40,7 +50,34 @@ size_t ThreadPool::queue_depth() const {
   return queue_.size();
 }
 
+uint32_t EffectiveParallelism(uint32_t num_threads, const ThreadPool* pool) {
+  if (num_threads == 1) return 1;
+  if (ThreadPool::CurrentWorkerPool() != nullptr) return 1;
+  uint32_t t = num_threads;
+  if (t == 0) {
+    t = pool != nullptr ? static_cast<uint32_t>(pool->num_threads()) + 1
+                        : std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::max(1u, t);
+}
+
+void RunParallel(ThreadPool* pool, size_t extra,
+                 const std::function<void()>& worker) {
+  WQE_DCHECK(pool == nullptr || !pool->OnWorkerThread());
+  std::unique_ptr<ThreadPool> transient;
+  if (pool == nullptr && extra > 0) {
+    transient = std::make_unique<ThreadPool>(extra);
+    pool = transient.get();
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(extra);
+  for (size_t i = 0; i < extra; ++i) futures.push_back(pool->Submit(worker));
+  worker();
+  for (std::future<void>& f : futures) f.get();
+}
+
 void ThreadPool::WorkerLoop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -80,6 +80,19 @@ class ThreadPool {
   /// \brief Tasks currently queued (diagnostic; racy by nature).
   size_t queue_depth() const;
 
+  /// \brief The pool whose worker is executing the calling thread, or
+  /// nullptr when the caller is not a pool worker.  Thread-local, O(1).
+  ///
+  /// This is the nested-parallelism guard: a task that wants to fan
+  /// sub-work across a pool must not block on sub-tasks queued behind it
+  /// (the classic pool self-deadlock).  Parallel consumers (the cycle
+  /// enumerator, the topic analyzer) consult this and degrade to
+  /// sequential execution when already running on a worker.
+  static ThreadPool* CurrentWorkerPool();
+
+  /// \brief True when the calling thread is one of *this* pool's workers.
+  bool OnWorkerThread() const { return CurrentWorkerPool() == this; }
+
  private:
   void WorkerLoop();
 
@@ -94,5 +107,34 @@ class ThreadPool {
   bool shutdown_ = false;
   std::atomic<size_t> tasks_executed_{0};
 };
+
+/// \name Degrade-aware fan-out helpers
+/// The single source of the nested-parallelism policy shared by every
+/// parallel kernel (cycle enumeration, metrics batches, topic analysis).
+/// Keeping the rules here — not re-derived per call site — is what makes
+/// "a pool worker never fans out again" a property of the system rather
+/// than a convention.
+/// @{
+
+/// \brief Resolves a `num_threads` knob to the count of threads a
+/// fan-out may actually use: 1 stays sequential, 0 means auto (the
+/// pool's workers + the caller when `pool` is set, otherwise one per
+/// hardware thread), and *any* request degrades to 1 when the calling
+/// thread is already a pool worker — nested fan-out would deadlock a
+/// bounded pool (and must not spawn a transient pool per task either).
+uint32_t EffectiveParallelism(uint32_t num_threads, const ThreadPool* pool);
+
+/// \brief Runs `worker` on the calling thread plus `extra` concurrent
+/// copies — on `pool` when given, else on a transient pool torn down
+/// before returning — and joins them all.  `worker` must be safe to run
+/// `extra + 1` times concurrently (the usual shape: an atomic-cursor
+/// steal loop over shared chunks).  Callers must have sized `extra`
+/// from `EffectiveParallelism`, which guarantees the calling thread is
+/// not a worker of `pool` (checked in debug builds) so blocking on the
+/// join cannot deadlock the pool.
+void RunParallel(ThreadPool* pool, size_t extra,
+                 const std::function<void()>& worker);
+
+/// @}
 
 }  // namespace wqe::serve

@@ -232,5 +232,54 @@ TEST(AnalyzerTest, ScoringCapStillCountsAllCycles) {
   EXPECT_EQ(a->cycles.size(), b->cycles.size());
 }
 
+TEST(AnalyzerTest, ParallelAnalyzeAllIdenticalToSequential) {
+  // The shared context's analyses were computed sequentially (pipeline
+  // num_threads defaults to 1); a 4-thread AnalyzeAll over the same
+  // ground truth must reproduce them field-for-field.
+  const Context& ctx = SmallContext();
+  AnalyzerOptions parallel;
+  parallel.num_threads = 4;
+  QueryGraphAnalyzer analyzer(ctx.pipeline, &ctx.gt, parallel);
+  auto analyses = analyzer.AnalyzeAll();
+  ASSERT_TRUE(analyses.ok()) << analyses.status();
+  ASSERT_EQ(analyses->size(), ctx.analyses.size());
+  for (size_t t = 0; t < ctx.analyses.size(); ++t) {
+    const TopicAnalysis& want = ctx.analyses[t];
+    const TopicAnalysis& got = (*analyses)[t];
+    EXPECT_EQ(got.topic_index, want.topic_index);
+    EXPECT_DOUBLE_EQ(got.baseline_quality, want.baseline_quality);
+    EXPECT_EQ(got.component.graph_size, want.component.graph_size);
+    EXPECT_DOUBLE_EQ(got.component.tpr, want.component.tpr);
+    ASSERT_EQ(got.cycles.size(), want.cycles.size()) << "topic " << t;
+    for (size_t c = 0; c < want.cycles.size(); ++c) {
+      EXPECT_EQ(got.cycles[c].cycle.nodes, want.cycles[c].cycle.nodes);
+      EXPECT_DOUBLE_EQ(got.cycles[c].contribution,
+                       want.cycles[c].contribution);
+      EXPECT_EQ(got.cycles[c].metrics.num_edges,
+                want.cycles[c].metrics.num_edges);
+    }
+    for (uint32_t len = kMinCycleLength; len <= kMaxCycleLength; ++len) {
+      EXPECT_EQ(got.articles_by_length[len], want.articles_by_length[len]);
+    }
+  }
+}
+
+TEST(AnalyzerTest, WithinTopicParallelismIdenticalToSequential) {
+  // A direct Analyze call (not the topic fan-out) parallelizes inside
+  // the topic ball — enumeration and metrics — and must stay identical.
+  const Context& ctx = SmallContext();
+  AnalyzerOptions within;
+  within.num_threads = 4;
+  QueryGraphAnalyzer analyzer(ctx.pipeline, &ctx.gt, within);
+  auto a = analyzer.Analyze(0);
+  ASSERT_TRUE(a.ok()) << a.status();
+  const TopicAnalysis& want = ctx.analyses[0];
+  ASSERT_EQ(a->cycles.size(), want.cycles.size());
+  for (size_t c = 0; c < want.cycles.size(); ++c) {
+    EXPECT_EQ(a->cycles[c].cycle.nodes, want.cycles[c].cycle.nodes);
+    EXPECT_DOUBLE_EQ(a->cycles[c].contribution, want.cycles[c].contribution);
+  }
+}
+
 }  // namespace
 }  // namespace wqe::analysis

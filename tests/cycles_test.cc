@@ -5,12 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <future>
+#include <thread>
+#include <vector>
 
+#include "common/rng.h"
 #include "graph/cycle_metrics.h"
 #include "graph/csr.h"
 #include "graph/cycles.h"
 #include "graph/graph.h"
 #include "graph/undirected_view.h"
+#include "serve/thread_pool.h"
+#include "wiki/knowledge_base.h"
 
 namespace wqe::graph {
 namespace {
@@ -319,6 +325,250 @@ TEST(ReciprocalLinkRateTest, CountsMutualFraction) {
 TEST(ReciprocalLinkRateTest, EmptyGraphIsZero) {
   PropertyGraph g;
   EXPECT_DOUBLE_EQ(ReciprocalLinkRate(CsrGraph::Freeze(g)), 0.0);
+}
+
+// ------------------------------------------- parallel determinism suite
+//
+// The contract under test: the parallel enumerator's output — cycle set,
+// cycle *order*, max_cycles truncation point, visitor-abort prefix — is
+// bit-identical to the sequential enumerator at every worker count, even
+// with adversarial chunk sizes of 1 (maximum interleaving of the merge).
+
+/// Hub-skewed random article/category graph: quadratically biased
+/// endpoints give the few hub nodes most of the degree mass, the
+/// worst case for naive uniform chunking.
+PropertyGraph SkewedSchemaGraph(uint64_t seed, uint32_t num_articles,
+                                uint32_t num_categories, uint32_t num_edges) {
+  Rng rng(seed);
+  PropertyGraph g;
+  for (uint32_t i = 0; i < num_articles; ++i) {
+    g.AddNode(NodeKind::kArticle, "a" + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < num_categories; ++i) {
+    g.AddNode(NodeKind::kCategory, "c" + std::to_string(i));
+  }
+  const uint32_t n = num_articles + num_categories;
+  auto skewed = [&] {
+    uint64_t x = rng.Uniform(n);
+    return static_cast<uint32_t>(x * x / n);  // quadratic bias toward hubs
+  };
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    uint32_t u = skewed();
+    uint32_t v = rng.Uniform(n);
+    if (u == v) continue;
+    if (g.IsArticle(u) && g.IsArticle(v)) {
+      (void)g.AddEdge(u, v, EdgeKind::kLink);
+    } else if (g.IsArticle(u) && g.IsCategory(v)) {
+      (void)g.AddEdge(u, v, EdgeKind::kBelongs);
+    } else if (g.IsCategory(u) && g.IsCategory(v)) {
+      (void)g.AddEdge(u, v, EdgeKind::kInside);
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<NodeId>> CycleNodes(const std::vector<Cycle>& cycles) {
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(cycles.size());
+  for (const Cycle& c : cycles) out.push_back(c.nodes);
+  return out;
+}
+
+class ParallelDeterminismProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ParallelDeterminismProperty, BitIdenticalAcrossWorkersAndChunks) {
+  PropertyGraph g = SkewedSchemaGraph(GetParam(), 26, 9, 260);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
+  CycleEnumerator e(view);
+
+  std::vector<CycleEnumerationOptions> configs;
+  {
+    CycleEnumerationOptions base;  // lengths 2..5, no filters
+    configs.push_back(base);
+    CycleEnumerationOptions window = base;
+    window.min_length = 3;
+    window.max_length = 4;
+    configs.push_back(window);
+    CycleEnumerationOptions chordless = base;
+    chordless.min_length = 4;
+    chordless.chordless_only = true;
+    configs.push_back(chordless);
+    CycleEnumerationOptions seeded = base;
+    seeded.seeds = {0, 5, 11};
+    configs.push_back(seeded);
+    for (size_t cap : {size_t{1}, size_t{5}, size_t{17}}) {
+      CycleEnumerationOptions truncated = base;
+      truncated.max_cycles = cap;
+      configs.push_back(truncated);
+      CycleEnumerationOptions seeded_truncated = seeded;
+      seeded_truncated.max_cycles = cap;
+      configs.push_back(seeded_truncated);
+      // DFS-only stream (no length-2 phase): the prefix budget counts
+      // the DFS stream here — the other early-stop code path.
+      CycleEnumerationOptions dfs_truncated = window;
+      dfs_truncated.max_cycles = cap;
+      configs.push_back(dfs_truncated);
+    }
+  }
+
+  for (const CycleEnumerationOptions& sequential : configs) {
+    std::vector<std::vector<NodeId>> want =
+        CycleNodes(e.Enumerate(sequential));
+    for (uint32_t workers : {2u, 4u, 8u}) {
+      for (uint32_t chunk : {0u, 1u}) {  // auto and adversarial size-1
+        CycleEnumerationOptions parallel = sequential;
+        parallel.num_threads = workers;
+        parallel.parallel_chunk_starts = chunk;
+        EXPECT_EQ(want, CycleNodes(e.Enumerate(parallel)))
+            << "workers=" << workers << " chunk=" << chunk
+            << " max_cycles=" << sequential.max_cycles
+            << " chordless=" << sequential.chordless_only;
+      }
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismProperty, InducedSubsetViewsMatchToo) {
+  PropertyGraph g = SkewedSchemaGraph(GetParam(), 30, 10, 300);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  std::vector<NodeId> members;
+  for (NodeId n = 0; n < g.num_nodes(); n += 2) members.push_back(n);
+  UndirectedView view(csr, members);
+  CycleEnumerator e(view);
+
+  CycleEnumerationOptions sequential;
+  std::vector<std::vector<NodeId>> want = CycleNodes(e.Enumerate(sequential));
+  CycleEnumerationOptions parallel = sequential;
+  parallel.num_threads = 4;
+  parallel.parallel_chunk_starts = 1;
+  EXPECT_EQ(want, CycleNodes(e.Enumerate(parallel)));
+
+  // The induced-enumeration convenience wrapper takes the same knobs.
+  EXPECT_EQ(CycleNodes(EnumerateCycles(csr, members, sequential)),
+            CycleNodes(EnumerateCycles(csr, members, parallel)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismProperty,
+                         ::testing::Values(7, 19, 42, 1234, 90210));
+
+TEST(ParallelCycleTest, VisitorAbortPrefixMatchesSequential) {
+  PropertyGraph g = CompleteArticleGraph(7);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
+  CycleEnumerator e(view);
+
+  // Sequential: record the prefix seen before the visitor aborts.
+  auto run = [&](CycleEnumerationOptions options, size_t abort_after) {
+    std::vector<std::vector<uint32_t>> seen;
+    size_t visited = e.Visit(options, [&](const std::vector<uint32_t>& c) {
+      seen.push_back(c);
+      return seen.size() < abort_after;
+    });
+    return std::pair(visited, seen);
+  };
+  for (size_t abort_after : {size_t{1}, size_t{4}, size_t{23}}) {
+    CycleEnumerationOptions sequential;
+    auto [want_count, want_seen] = run(sequential, abort_after);
+    CycleEnumerationOptions parallel;
+    parallel.num_threads = 4;
+    parallel.parallel_chunk_starts = 1;
+    auto [got_count, got_seen] = run(parallel, abort_after);
+    EXPECT_EQ(want_count, got_count) << "abort_after=" << abort_after;
+    EXPECT_EQ(want_seen, got_seen) << "abort_after=" << abort_after;
+  }
+}
+
+TEST(ParallelCycleTest, ExternalPoolAndAutoThreadsWork) {
+  PropertyGraph g = SkewedSchemaGraph(3, 24, 8, 240);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
+  CycleEnumerator e(view);
+  std::vector<std::vector<NodeId>> want = CycleNodes(e.Enumerate({}));
+
+  serve::ThreadPool pool(3);
+  CycleEnumerationOptions on_pool;
+  on_pool.num_threads = 0;  // auto: pool workers + caller
+  on_pool.pool = &pool;
+  EXPECT_EQ(want, CycleNodes(e.Enumerate(on_pool)));
+  // The pool survives for reuse (enumeration must not shut it down).
+  EXPECT_EQ(want, CycleNodes(e.Enumerate(on_pool)));
+}
+
+TEST(ParallelCycleTest, NestedEnumerationFromPoolWorkerDegrades) {
+  // A pool task that fans out onto its own pool would deadlock a bounded
+  // pool; the enumerator must detect the worker context and run the
+  // sequential path instead — completing (with identical output) IS the
+  // assertion here.
+  PropertyGraph g = SkewedSchemaGraph(11, 24, 8, 240);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
+  CycleEnumerator e(view);
+  std::vector<std::vector<NodeId>> want = CycleNodes(e.Enumerate({}));
+
+  serve::ThreadPool pool(1);  // capacity 1: any nested blocking deadlocks
+  auto future = pool.Submit([&] {
+    EXPECT_NE(serve::ThreadPool::CurrentWorkerPool(), nullptr);
+    CycleEnumerationOptions nested;
+    nested.num_threads = 4;
+    nested.pool = &pool;  // same pool: the deadlock shape
+    return CycleNodes(e.Enumerate(nested));
+  });
+  EXPECT_EQ(want, future.get());
+  EXPECT_EQ(serve::ThreadPool::CurrentWorkerPool(), nullptr);
+}
+
+TEST(ParallelCycleTest, TsanStressSkewedKnowledgeBase) {
+  // Hot loop for the -fsanitize=thread CI lane: a skewed synthetic KB,
+  // concurrent top-level enumerations sharing one pool, each internally
+  // parallel or degraded — every synchronization edge of the parallel
+  // path (chunk cursor, prefix budget, buffer handoff) gets exercised.
+  wiki::KnowledgeBase kb;
+  Rng rng(99);
+  constexpr uint32_t kArticles = 120;
+  constexpr uint32_t kCategories = 24;
+  std::vector<NodeId> articles, categories;
+  for (uint32_t i = 0; i < kArticles; ++i) {
+    articles.push_back(*kb.AddArticle("a" + std::to_string(i)));
+  }
+  for (uint32_t i = 0; i < kCategories; ++i) {
+    categories.push_back(*kb.AddCategory("c" + std::to_string(i)));
+  }
+  for (uint32_t e2 = 0; e2 < 1400; ++e2) {
+    uint64_t x = rng.Uniform(kArticles);
+    uint32_t u = static_cast<uint32_t>(x * x / kArticles);  // hub skew
+    uint32_t v = rng.Uniform(kArticles);
+    if (u != v) (void)kb.AddLink(articles[u], articles[v]);
+  }
+  for (uint32_t i = 0; i < kArticles; ++i) {
+    (void)kb.AddBelongs(articles[i], categories[i % kCategories]);
+  }
+  const CsrGraph& csr = kb.Freeze();
+  UndirectedView view(csr);
+  CycleEnumerator e(view);
+
+  CycleEnumerationOptions sequential;
+  sequential.max_length = 4;  // keep the TSan (≈10×) runtime in check
+  std::vector<std::vector<NodeId>> want = CycleNodes(e.Enumerate(sequential));
+
+  serve::ThreadPool pool(4);
+  std::vector<std::future<std::vector<std::vector<NodeId>>>> degraded;
+  for (int i = 0; i < 4; ++i) {
+    degraded.push_back(pool.Submit([&] {
+      CycleEnumerationOptions nested = sequential;
+      nested.num_threads = 4;
+      nested.pool = &pool;
+      return CycleNodes(e.Enumerate(nested));  // degrades on the worker
+    }));
+  }
+  for (int i = 0; i < 4; ++i) {
+    CycleEnumerationOptions parallel = sequential;
+    parallel.num_threads = 4;
+    parallel.pool = &pool;  // top-level: fans out across the same pool
+    EXPECT_EQ(want, CycleNodes(e.Enumerate(parallel))) << "iteration " << i;
+  }
+  for (auto& f : degraded) EXPECT_EQ(want, f.get());
 }
 
 TEST(EnumerateCyclesHelperTest, InducedConvenienceWrapper) {
