@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/paper_report.cc" "CMakeFiles/wqe.dir/src/analysis/paper_report.cc.o" "gcc" "CMakeFiles/wqe.dir/src/analysis/paper_report.cc.o.d"
+  "/root/repo/src/analysis/query_graph_analysis.cc" "CMakeFiles/wqe.dir/src/analysis/query_graph_analysis.cc.o" "gcc" "CMakeFiles/wqe.dir/src/analysis/query_graph_analysis.cc.o.d"
+  "/root/repo/src/api/engine.cc" "CMakeFiles/wqe.dir/src/api/engine.cc.o" "gcc" "CMakeFiles/wqe.dir/src/api/engine.cc.o.d"
+  "/root/repo/src/api/evaluation.cc" "CMakeFiles/wqe.dir/src/api/evaluation.cc.o" "gcc" "CMakeFiles/wqe.dir/src/api/evaluation.cc.o.d"
+  "/root/repo/src/api/expander_registry.cc" "CMakeFiles/wqe.dir/src/api/expander_registry.cc.o" "gcc" "CMakeFiles/wqe.dir/src/api/expander_registry.cc.o.d"
+  "/root/repo/src/api/testbed.cc" "CMakeFiles/wqe.dir/src/api/testbed.cc.o" "gcc" "CMakeFiles/wqe.dir/src/api/testbed.cc.o.d"
+  "/root/repo/src/clef/image_metadata.cc" "CMakeFiles/wqe.dir/src/clef/image_metadata.cc.o" "gcc" "CMakeFiles/wqe.dir/src/clef/image_metadata.cc.o.d"
+  "/root/repo/src/clef/track.cc" "CMakeFiles/wqe.dir/src/clef/track.cc.o" "gcc" "CMakeFiles/wqe.dir/src/clef/track.cc.o.d"
+  "/root/repo/src/clef/track_generator.cc" "CMakeFiles/wqe.dir/src/clef/track_generator.cc.o" "gcc" "CMakeFiles/wqe.dir/src/clef/track_generator.cc.o.d"
+  "/root/repo/src/common/hash.cc" "CMakeFiles/wqe.dir/src/common/hash.cc.o" "gcc" "CMakeFiles/wqe.dir/src/common/hash.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/wqe.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/wqe.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/wqe.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/wqe.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/wqe.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/wqe.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/wqe.dir/src/common/status.cc.o" "gcc" "CMakeFiles/wqe.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/wqe.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/wqe.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "CMakeFiles/wqe.dir/src/common/table_printer.cc.o" "gcc" "CMakeFiles/wqe.dir/src/common/table_printer.cc.o.d"
+  "/root/repo/src/expansion/baselines.cc" "CMakeFiles/wqe.dir/src/expansion/baselines.cc.o" "gcc" "CMakeFiles/wqe.dir/src/expansion/baselines.cc.o.d"
+  "/root/repo/src/expansion/cycle_expander.cc" "CMakeFiles/wqe.dir/src/expansion/cycle_expander.cc.o" "gcc" "CMakeFiles/wqe.dir/src/expansion/cycle_expander.cc.o.d"
+  "/root/repo/src/expansion/expander.cc" "CMakeFiles/wqe.dir/src/expansion/expander.cc.o" "gcc" "CMakeFiles/wqe.dir/src/expansion/expander.cc.o.d"
+  "/root/repo/src/graph/connected_components.cc" "CMakeFiles/wqe.dir/src/graph/connected_components.cc.o" "gcc" "CMakeFiles/wqe.dir/src/graph/connected_components.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "CMakeFiles/wqe.dir/src/graph/csr.cc.o" "gcc" "CMakeFiles/wqe.dir/src/graph/csr.cc.o.d"
+  "/root/repo/src/graph/cycle_metrics.cc" "CMakeFiles/wqe.dir/src/graph/cycle_metrics.cc.o" "gcc" "CMakeFiles/wqe.dir/src/graph/cycle_metrics.cc.o.d"
+  "/root/repo/src/graph/cycles.cc" "CMakeFiles/wqe.dir/src/graph/cycles.cc.o" "gcc" "CMakeFiles/wqe.dir/src/graph/cycles.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/wqe.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/wqe.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "CMakeFiles/wqe.dir/src/graph/subgraph.cc.o" "gcc" "CMakeFiles/wqe.dir/src/graph/subgraph.cc.o.d"
+  "/root/repo/src/graph/triangles.cc" "CMakeFiles/wqe.dir/src/graph/triangles.cc.o" "gcc" "CMakeFiles/wqe.dir/src/graph/triangles.cc.o.d"
+  "/root/repo/src/graph/undirected_view.cc" "CMakeFiles/wqe.dir/src/graph/undirected_view.cc.o" "gcc" "CMakeFiles/wqe.dir/src/graph/undirected_view.cc.o.d"
+  "/root/repo/src/groundtruth/ground_truth.cc" "CMakeFiles/wqe.dir/src/groundtruth/ground_truth.cc.o" "gcc" "CMakeFiles/wqe.dir/src/groundtruth/ground_truth.cc.o.d"
+  "/root/repo/src/groundtruth/pipeline.cc" "CMakeFiles/wqe.dir/src/groundtruth/pipeline.cc.o" "gcc" "CMakeFiles/wqe.dir/src/groundtruth/pipeline.cc.o.d"
+  "/root/repo/src/groundtruth/query_graph.cc" "CMakeFiles/wqe.dir/src/groundtruth/query_graph.cc.o" "gcc" "CMakeFiles/wqe.dir/src/groundtruth/query_graph.cc.o.d"
+  "/root/repo/src/groundtruth/xq_optimizer.cc" "CMakeFiles/wqe.dir/src/groundtruth/xq_optimizer.cc.o" "gcc" "CMakeFiles/wqe.dir/src/groundtruth/xq_optimizer.cc.o.d"
+  "/root/repo/src/ir/document_store.cc" "CMakeFiles/wqe.dir/src/ir/document_store.cc.o" "gcc" "CMakeFiles/wqe.dir/src/ir/document_store.cc.o.d"
+  "/root/repo/src/ir/eval.cc" "CMakeFiles/wqe.dir/src/ir/eval.cc.o" "gcc" "CMakeFiles/wqe.dir/src/ir/eval.cc.o.d"
+  "/root/repo/src/ir/inverted_index.cc" "CMakeFiles/wqe.dir/src/ir/inverted_index.cc.o" "gcc" "CMakeFiles/wqe.dir/src/ir/inverted_index.cc.o.d"
+  "/root/repo/src/ir/query.cc" "CMakeFiles/wqe.dir/src/ir/query.cc.o" "gcc" "CMakeFiles/wqe.dir/src/ir/query.cc.o.d"
+  "/root/repo/src/ir/scorer.cc" "CMakeFiles/wqe.dir/src/ir/scorer.cc.o" "gcc" "CMakeFiles/wqe.dir/src/ir/scorer.cc.o.d"
+  "/root/repo/src/ir/search_engine.cc" "CMakeFiles/wqe.dir/src/ir/search_engine.cc.o" "gcc" "CMakeFiles/wqe.dir/src/ir/search_engine.cc.o.d"
+  "/root/repo/src/linking/entity_linker.cc" "CMakeFiles/wqe.dir/src/linking/entity_linker.cc.o" "gcc" "CMakeFiles/wqe.dir/src/linking/entity_linker.cc.o.d"
+  "/root/repo/src/serve/expansion_cache.cc" "CMakeFiles/wqe.dir/src/serve/expansion_cache.cc.o" "gcc" "CMakeFiles/wqe.dir/src/serve/expansion_cache.cc.o.d"
+  "/root/repo/src/serve/server.cc" "CMakeFiles/wqe.dir/src/serve/server.cc.o" "gcc" "CMakeFiles/wqe.dir/src/serve/server.cc.o.d"
+  "/root/repo/src/serve/thread_pool.cc" "CMakeFiles/wqe.dir/src/serve/thread_pool.cc.o" "gcc" "CMakeFiles/wqe.dir/src/serve/thread_pool.cc.o.d"
+  "/root/repo/src/text/analyzer.cc" "CMakeFiles/wqe.dir/src/text/analyzer.cc.o" "gcc" "CMakeFiles/wqe.dir/src/text/analyzer.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "CMakeFiles/wqe.dir/src/text/porter_stemmer.cc.o" "gcc" "CMakeFiles/wqe.dir/src/text/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "CMakeFiles/wqe.dir/src/text/stopwords.cc.o" "gcc" "CMakeFiles/wqe.dir/src/text/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "CMakeFiles/wqe.dir/src/text/tokenizer.cc.o" "gcc" "CMakeFiles/wqe.dir/src/text/tokenizer.cc.o.d"
+  "/root/repo/src/wiki/dump.cc" "CMakeFiles/wqe.dir/src/wiki/dump.cc.o" "gcc" "CMakeFiles/wqe.dir/src/wiki/dump.cc.o.d"
+  "/root/repo/src/wiki/knowledge_base.cc" "CMakeFiles/wqe.dir/src/wiki/knowledge_base.cc.o" "gcc" "CMakeFiles/wqe.dir/src/wiki/knowledge_base.cc.o.d"
+  "/root/repo/src/wiki/synthetic.cc" "CMakeFiles/wqe.dir/src/wiki/synthetic.cc.o" "gcc" "CMakeFiles/wqe.dir/src/wiki/synthetic.cc.o.d"
+  "/root/repo/src/wiki/wordlist.cc" "CMakeFiles/wqe.dir/src/wiki/wordlist.cc.o" "gcc" "CMakeFiles/wqe.dir/src/wiki/wordlist.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "CMakeFiles/wqe.dir/src/xml/xml_parser.cc.o" "gcc" "CMakeFiles/wqe.dir/src/xml/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "CMakeFiles/wqe.dir/src/xml/xml_writer.cc.o" "gcc" "CMakeFiles/wqe.dir/src/xml/xml_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

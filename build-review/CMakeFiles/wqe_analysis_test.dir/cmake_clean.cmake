@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_analysis_test.dir/tests/analysis_test.cc.o"
+  "CMakeFiles/wqe_analysis_test.dir/tests/analysis_test.cc.o.d"
+  "wqe_analysis_test"
+  "wqe_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

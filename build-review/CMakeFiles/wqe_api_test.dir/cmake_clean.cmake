@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_api_test.dir/tests/api_test.cc.o"
+  "CMakeFiles/wqe_api_test.dir/tests/api_test.cc.o.d"
+  "wqe_api_test"
+  "wqe_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_clef_test.dir/tests/clef_test.cc.o"
+  "CMakeFiles/wqe_clef_test.dir/tests/clef_test.cc.o.d"
+  "wqe_clef_test"
+  "wqe_clef_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_clef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

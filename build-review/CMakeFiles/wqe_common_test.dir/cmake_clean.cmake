@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_common_test.dir/tests/common_test.cc.o"
+  "CMakeFiles/wqe_common_test.dir/tests/common_test.cc.o.d"
+  "wqe_common_test"
+  "wqe_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_csr_test.dir/tests/csr_test.cc.o"
+  "CMakeFiles/wqe_csr_test.dir/tests/csr_test.cc.o.d"
+  "wqe_csr_test"
+  "wqe_csr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_cycles_test.dir/tests/cycles_test.cc.o"
+  "CMakeFiles/wqe_cycles_test.dir/tests/cycles_test.cc.o.d"
+  "wqe_cycles_test"
+  "wqe_cycles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_cycles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_expansion_test.dir/tests/expansion_test.cc.o"
+  "CMakeFiles/wqe_expansion_test.dir/tests/expansion_test.cc.o.d"
+  "wqe_expansion_test"
+  "wqe_expansion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_graph_test.dir/tests/graph_test.cc.o"
+  "CMakeFiles/wqe_graph_test.dir/tests/graph_test.cc.o.d"
+  "wqe_graph_test"
+  "wqe_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_groundtruth_test.dir/tests/groundtruth_test.cc.o"
+  "CMakeFiles/wqe_groundtruth_test.dir/tests/groundtruth_test.cc.o.d"
+  "wqe_groundtruth_test"
+  "wqe_groundtruth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_groundtruth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

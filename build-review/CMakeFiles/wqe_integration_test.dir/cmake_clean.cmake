@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_integration_test.dir/tests/integration_test.cc.o"
+  "CMakeFiles/wqe_integration_test.dir/tests/integration_test.cc.o.d"
+  "wqe_integration_test"
+  "wqe_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

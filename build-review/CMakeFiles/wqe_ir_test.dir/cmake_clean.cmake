@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_ir_test.dir/tests/ir_test.cc.o"
+  "CMakeFiles/wqe_ir_test.dir/tests/ir_test.cc.o.d"
+  "wqe_ir_test"
+  "wqe_ir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

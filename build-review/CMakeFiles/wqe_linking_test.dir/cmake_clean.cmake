@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_linking_test.dir/tests/linking_test.cc.o"
+  "CMakeFiles/wqe_linking_test.dir/tests/linking_test.cc.o.d"
+  "wqe_linking_test"
+  "wqe_linking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_linking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_misc_test.dir/tests/misc_test.cc.o"
+  "CMakeFiles/wqe_misc_test.dir/tests/misc_test.cc.o.d"
+  "wqe_misc_test"
+  "wqe_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

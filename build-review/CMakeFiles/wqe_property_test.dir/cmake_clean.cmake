@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_property_test.dir/tests/property_test.cc.o"
+  "CMakeFiles/wqe_property_test.dir/tests/property_test.cc.o.d"
+  "wqe_property_test"
+  "wqe_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_serve_test.dir/tests/serve_test.cc.o"
+  "CMakeFiles/wqe_serve_test.dir/tests/serve_test.cc.o.d"
+  "wqe_serve_test"
+  "wqe_serve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_serve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_text_test.dir/tests/text_test.cc.o"
+  "CMakeFiles/wqe_text_test.dir/tests/text_test.cc.o.d"
+  "wqe_text_test"
+  "wqe_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_wiki_test.dir/tests/wiki_test.cc.o"
+  "CMakeFiles/wqe_wiki_test.dir/tests/wiki_test.cc.o.d"
+  "wqe_wiki_test"
+  "wqe_wiki_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_wiki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_xml_test.dir/tests/xml_test.cc.o"
+  "CMakeFiles/wqe_xml_test.dir/tests/xml_test.cc.o.d"
+  "wqe_xml_test"
+  "wqe_xml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
