@@ -1,28 +1,41 @@
 #!/usr/bin/env sh
-# CI entry point: tier-1 verify with warnings-as-errors on the library,
-# a Release bench smoke (benches must run and emit valid BENCH_*.json),
-# then the serve/ concurrency suite under ThreadSanitizer.
-# Mirrors .github/workflows/ci.yml so the same checks run locally.
-set -eux
+# CI entry point, lane-selectable so contributors can run one gate
+# locally without the full multi-tree build:
+#
+#   ./ci.sh tier1   — verify build (-Werror) + full ctest
+#   ./ci.sh bench   — Release bench smoke + BENCH_*.json schema/trajectory
+#   ./ci.sh tsan    — ThreadSanitizer over the concurrency suites
+#   ./ci.sh asan    — ASan+UBSan (non-recoverable) over the full ctest suite
+#   ./ci.sh tidy    — clang-tidy gate over src/ (skips if not installed)
+#   ./ci.sh all     — every lane above, in that order (the default)
+#
+# Mirrors .github/workflows/ci.yml, whose jobs call these same lanes.
+# See README "Correctness tooling" for what each lane enforces.
+set -eu
 
-cmake -B build -S . -DWQE_WERROR=ON
-cmake --build build -j
-cd build && ctest --output-on-failure -j
-cd ..
+run_tier1() {
+  set -x
+  cmake -B build -S . -DWQE_WERROR=ON
+  cmake --build build -j
+  (cd build && ctest --output-on-failure -j)
+  set +x
+}
 
 # Bench smoke: Release tree (the perf numbers people quote), smallest
 # cycle-enumeration configs (sequential, legacy, and a 2-thread parallel
 # run whose setup hard-asserts bit-identical cycles), hard-failing on
 # crash or malformed JSON so the perf benches and their machine-readable
 # output can't silently rot.
-cmake -B build-bench -S . -DWQE_WERROR=ON -DCMAKE_BUILD_TYPE=Release \
-  -DWQE_BUILD_TESTS=OFF -DWQE_BUILD_EXAMPLES=OFF
-cmake --build build-bench -j --target wqe_bench_perf_cycle_enumeration
-cd build-bench
-./wqe_bench_perf_cycle_enumeration \
-  --benchmark_filter='BM_CycleEnumerationBall(Legacy|Parallel/2)?/3/100$' \
-  --benchmark_min_time=0.05
-python3 - <<'EOF'
+run_bench() {
+  set -x
+  cmake -B build-bench -S . -DWQE_WERROR=ON -DCMAKE_BUILD_TYPE=Release \
+    -DWQE_BUILD_TESTS=OFF -DWQE_BUILD_EXAMPLES=OFF
+  cmake --build build-bench -j --target wqe_bench_perf_cycle_enumeration
+  cd build-bench
+  ./wqe_bench_perf_cycle_enumeration \
+    --benchmark_filter='BM_CycleEnumerationBall(Legacy|Parallel/2)?/3/100$' \
+    --benchmark_min_time=0.05
+  python3 - <<'EOF'
 import json
 with open('BENCH_perf_cycle_enumeration.json') as f:
     data = json.load(f)
@@ -38,17 +51,19 @@ assert any(r['metric'] == 'speedup_vs_sequential' for r in results), \
     'missing parallel-vs-sequential speedup record'
 print(f'bench smoke OK: {len(results)} records')
 EOF
-# Bench trajectory: the comparator always self-checks (a file must never
-# regress against itself), and gates against a committed baseline when
-# one is present (drop a BENCH_*.json into bench/baselines/ to arm it).
-python3 ../bench/bench_compare.py \
-  BENCH_perf_cycle_enumeration.json BENCH_perf_cycle_enumeration.json
-if [ -f ../bench/baselines/BENCH_perf_cycle_enumeration.json ]; then
+  # Bench trajectory: the comparator always self-checks (a file must never
+  # regress against itself), and gates against a committed baseline when
+  # one is present (drop a BENCH_*.json into bench/baselines/ to arm it).
   python3 ../bench/bench_compare.py \
-    ../bench/baselines/BENCH_perf_cycle_enumeration.json \
-    BENCH_perf_cycle_enumeration.json
-fi
-cd ..
+    BENCH_perf_cycle_enumeration.json BENCH_perf_cycle_enumeration.json
+  if [ -f ../bench/baselines/BENCH_perf_cycle_enumeration.json ]; then
+    python3 ../bench/bench_compare.py \
+      ../bench/baselines/BENCH_perf_cycle_enumeration.json \
+      BENCH_perf_cycle_enumeration.json
+  fi
+  cd ..
+  set +x
+}
 
 # ThreadSanitizer pass over the concurrency subsystem (tests only; the
 # benches and examples don't add coverage and double the build).  Debug
@@ -56,8 +71,66 @@ cd ..
 # fan-out) are live — the main build's RelWithDebInfo compiles them out.
 # cycles_test rides along for the parallel-enumerator stress case
 # (chunk cursor, prefix budget, buffer handoff under TSan).
-cmake -B build-tsan -S . -DWQE_TSAN=ON -DWQE_WERROR=ON \
-  -DCMAKE_BUILD_TYPE=Debug \
-  -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j
-cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test'
+run_tsan() {
+  set -x
+  cmake -B build-tsan -S . -DWQE_TSAN=ON -DWQE_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j
+  (cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test')
+  set +x
+}
+
+# AddressSanitizer + UBSan over the *full* ctest suite.  Debug keeps the
+# WQE_DCHECK validators (CsrGraph::CheckInvariants at freeze time, the
+# cache shard invariants in serve_test) live, so memory errors and
+# structural corruption are both fatal here.
+run_asan() {
+  set -x
+  cmake -B build-asan -S . -DWQE_ASAN=ON -DWQE_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j)
+  set +x
+}
+
+# clang-tidy gate over the library sources, warnings as errors, using the
+# committed .clang-tidy (bugprone/concurrency/performance + the
+# readability subset the codebase follows).  Skips — loudly, not
+# silently — when clang-tidy isn't installed; the ci.yml job installs it,
+# so the gate always runs upstream.
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "ci.sh tidy: clang-tidy not installed; lane SKIPPED locally" \
+         "(the clang-tidy job in .github/workflows/ci.yml still gates merges)"
+    return 0
+  fi
+  set -x
+  cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DWQE_BUILD_TESTS=OFF -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
+  find src -name '*.cc' -print | sort | \
+    xargs clang-tidy -p build-tidy --warnings-as-errors='*' --quiet
+  set +x
+}
+
+lane="${1:-all}"
+case "$lane" in
+  tier1) run_tier1 ;;
+  bench) run_bench ;;
+  tsan)  run_tsan ;;
+  asan)  run_asan ;;
+  tidy)  run_tidy ;;
+  all)
+    run_tier1
+    run_bench
+    run_tsan
+    run_asan
+    run_tidy
+    ;;
+  *)
+    echo "usage: $0 [tier1|bench|tsan|asan|tidy|all]" >&2
+    exit 2
+    ;;
+esac
+echo "ci.sh: lane '$lane' OK"

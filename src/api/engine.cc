@@ -70,6 +70,11 @@ Result<ir::DocId> Engine::AddDocument(std::string_view name,
 Status Engine::FinalizeIndex() { return search_->Finalize(); }
 
 ExpanderRegistry& Engine::registry() {
+  // The registry-freeze contract (see LockRegistry in the header): once a
+  // serve::Server has locked the registry, mutable access would race the
+  // lock-free ResolveStrategy reads on its workers.  Dynamic enforcement
+  // — the flag is a phase transition, which the static thread-safety
+  // analysis cannot express.
   WQE_DCHECK(!registry_locked());  // no registration once serving started
   return registry_;
 }

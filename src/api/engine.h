@@ -189,8 +189,17 @@ class Engine {
 
   /// \brief Freezes the registry: after this, the non-const `registry()`
   /// accessor is a contract violation (asserted in debug builds).  Called
-  /// by `serve::Server::Build` — registering strategies while worker
-  /// threads resolve names is unsupported.  Irreversible.
+  /// by the `serve::Server` constructor — registering strategies while
+  /// worker threads resolve names is unsupported.  Irreversible.
+  ///
+  /// Deliberately a one-way atomic flag, not a `common::Mutex`: the
+  /// serving path (`ResolveStrategy` from every worker) reads the
+  /// registry lock-free, which is only sound because mutation is
+  /// impossible once the flag is set.  Clang's `-Wthread-safety` cannot
+  /// model a phase transition, so this contract is enforced dynamically
+  /// instead: `WQE_DCHECK(!registry_locked())` in the non-const
+  /// `registry()` (death-tested in serve_test.cc) backs up the
+  /// annotated-mutex discipline used everywhere else in the serve layer.
   void LockRegistry() const { registry_locked_.store(true); }
   bool registry_locked() const { return registry_locked_.load(); }
   /// @}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/macros.h"
+
 namespace wqe::graph {
 
 namespace {
@@ -112,8 +114,165 @@ CsrGraph CsrGraph::Freeze(const PropertyGraph& builder) {
     }
     g.und_offsets_.push_back(g.und_neighbors_.size());
   }
+  // Debug builds verify the snapshot before anything can run on it; a
+  // violation here is a Freeze bug, not bad input.
+  g.DCheckInvariants();
   return g;
 }
+
+namespace {
+
+/// Shared shape checks for one CSR direction: zero-based monotone
+/// offsets ending at the data size, a kind array parallel to the node
+/// array, in-range endpoints, rows sorted by (node, kind).
+Status CheckDirectedCsr(const char* what, uint32_t n,
+                        const std::vector<uint64_t>& offsets,
+                        const std::vector<NodeId>& nodes,
+                        const std::vector<EdgeKind>& kinds) {
+  if (offsets.size() != static_cast<size_t>(n) + 1) {
+    return Status::Internal(what, ": offsets size ", offsets.size(),
+                            " != num_nodes + 1 = ", n + 1);
+  }
+  if (offsets.front() != 0) {
+    return Status::Internal(what, ": offsets[0] != 0");
+  }
+  if (offsets.back() != nodes.size()) {
+    return Status::Internal(what, ": offsets end at ", offsets.back(),
+                            " but row data holds ", nodes.size());
+  }
+  if (kinds.size() != nodes.size()) {
+    return Status::Internal(what, ": kind array size ", kinds.size(),
+                            " != node array size ", nodes.size());
+  }
+  // Monotonicity first: with offsets[0] == 0 and offsets[n] == size
+  // already verified, a fully monotone array keeps every row index in
+  // bounds — only then is it safe to dereference row data below.
+  for (NodeId u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      return Status::Internal(what, ": offsets not monotone at node ", u);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      if (nodes[i] >= n) {
+        return Status::Internal(what, ": node ", u, " row entry ", nodes[i],
+                                " out of range");
+      }
+      if (i > offsets[u] &&
+          RowEntry{nodes[i], kinds[i]} < RowEntry{nodes[i - 1], kinds[i - 1]}) {
+        return Status::Internal(what, ": node ", u,
+                                " row not sorted by (target, kind)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CsrGraph::CheckInvariants() const {
+  const uint32_t n = num_nodes();
+  if (n == 0 && out_offsets_.empty()) {
+    return Status::OK();  // default-constructed, never frozen
+  }
+  if (redirect_target_.size() != n) {
+    return Status::Internal("redirect table size ", redirect_target_.size(),
+                            " != num_nodes ", n);
+  }
+  std::array<size_t, 2> node_counts{};
+  for (NodeKind kind : kinds_) ++node_counts[static_cast<size_t>(kind)];
+  if (node_counts != node_kind_counts_) {
+    return Status::Internal("node kind counts out of sync with kinds array");
+  }
+
+  WQE_RETURN_NOT_OK(
+      CheckDirectedCsr("out CSR", n, out_offsets_, out_targets_, out_kinds_));
+  WQE_RETURN_NOT_OK(
+      CheckDirectedCsr("in CSR", n, in_offsets_, in_sources_, in_kinds_));
+  if (in_sources_.size() != out_targets_.size()) {
+    return Status::Internal("in CSR holds ", in_sources_.size(),
+                            " edges, out CSR holds ", out_targets_.size());
+  }
+  std::array<size_t, 4> edge_counts{};
+  for (EdgeKind kind : out_kinds_) ++edge_counts[static_cast<size_t>(kind)];
+  if (edge_counts != edge_kind_counts_) {
+    return Status::Internal("edge kind counts out of sync with out CSR");
+  }
+
+  // Redirect table ↔ redirect out-edges: a node with no redirect edge
+  // maps to kInvalidNode; otherwise the table holds one of its redirect
+  // targets (Freeze keeps the first in insertion order, which need not
+  // be first in the sorted row).
+  for (NodeId u = 0; u < n; ++u) {
+    bool has_redirect = false;
+    bool table_matches = false;
+    std::span<const NodeId> targets = OutTargets(u);
+    std::span<const EdgeKind> kinds = OutKinds(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (kinds[i] == EdgeKind::kRedirect) {
+        has_redirect = true;
+        if (redirect_target_[u] == targets[i]) table_matches = true;
+      }
+    }
+    const bool table_ok = has_redirect
+                              ? table_matches
+                              : redirect_target_[u] == kInvalidNode;
+    if (!table_ok) {
+      return Status::Internal("redirect table disagrees with out edges at ",
+                              "node ", u);
+    }
+  }
+
+  // Undirected CSR: shape, strict ascending distinct neighbors, positive
+  // multiplicities, (u,v) ↔ (v,u) symmetry, and total mass — every
+  // non-redirect directed edge contributes one multiplicity unit at each
+  // endpoint.
+  if (und_offsets_.size() != static_cast<size_t>(n) + 1 ||
+      und_offsets_.front() != 0 ||
+      und_offsets_.back() != und_neighbors_.size() ||
+      und_mult_.size() != und_neighbors_.size()) {
+    return Status::Internal("undirected CSR arrays misshapen");
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (und_offsets_[u] > und_offsets_[u + 1]) {
+      return Status::Internal("undirected offsets not monotone at node ", u);
+    }
+  }
+  uint64_t total_mult = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    std::span<const NodeId> neighbors = UndNeighbors(u);
+    std::span<const uint32_t> mults = UndMultiplicities(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (neighbors[i] >= n) {
+        return Status::Internal("undirected neighbor out of range at node ",
+                                u);
+      }
+      if (i > 0 && neighbors[i] <= neighbors[i - 1]) {
+        return Status::Internal("undirected row not strictly ascending at ",
+                                "node ", u);
+      }
+      if (mults[i] == 0) {
+        return Status::Internal("zero multiplicity stored at node ", u);
+      }
+      if (UndMultiplicity(neighbors[i], u) != mults[i]) {
+        return Status::Internal("undirected multiplicity asymmetric for (", u,
+                                ", ", neighbors[i], ")");
+      }
+      total_mult += mults[i];
+    }
+  }
+  const uint64_t non_redirect_edges =
+      num_edges() -
+      edge_kind_counts_[static_cast<size_t>(EdgeKind::kRedirect)];
+  if (total_mult != 2 * non_redirect_edges) {
+    return Status::Internal("undirected multiplicity mass ", total_mult,
+                            " != 2 * non-redirect edges ",
+                            2 * non_redirect_edges);
+  }
+  return Status::OK();
+}
+
+void CsrGraph::DCheckInvariants() const { WQE_DCHECK_OK(CheckInvariants()); }
 
 bool CsrGraph::HasEdge(NodeId src, NodeId dst, EdgeKind kind) const {
   if (src >= num_nodes() || dst >= num_nodes()) return false;

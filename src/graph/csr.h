@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/graph.h"
 
 namespace wqe::graph {
@@ -110,7 +111,37 @@ class CsrGraph {
   size_t num_und_pairs() const { return und_neighbors_.size() / 2; }
   /// @}
 
+  /// \name Structural invariant validation
+  ///
+  /// The dynamic complement of the serve layer's compile-time lock
+  /// checking: every algorithm in the tree (binary-search `HasEdge`, the
+  /// cycle DFS's canonical-prefix skip, undirected-view slicing) assumes
+  /// the snapshot's structural invariants, so Debug builds verify them
+  /// once at freeze time and tests can verify them directly.
+  /// @{
+
+  /// \brief Checks every snapshot invariant: offset arrays are
+  /// zero-based, monotone and end at their data size; parallel
+  /// kind/multiplicity arrays match their row arrays; every endpoint is
+  /// in range; directed rows are sorted by (node, kind); the redirect
+  /// table matches each node's first redirect out-edge; per-kind counts
+  /// tally; the undirected CSR has strictly ascending distinct
+  /// neighbors, positive multiplicities, symmetric (u,v)/(v,u) entries,
+  /// and total multiplicity equal to twice the non-redirect edge count.
+  /// O(V + E log max_degree); intended for tests and debug builds.
+  Status CheckInvariants() const;
+
+  /// \brief `WQE_DCHECK`s `CheckInvariants()`: aborts with the violation
+  /// in builds without NDEBUG, no-op otherwise.  Called by `Freeze`;
+  /// exposed so tests exercise the exact freeze-time enforcement path.
+  void DCheckInvariants() const;
+  /// @}
+
  private:
+  /// Test-only backdoor (defined in tests/csr_test.cc) for corrupting a
+  /// snapshot to prove the validator catches it.
+  friend struct CsrGraphTestPeer;
+
   template <typename T>
   static std::span<const T> Row(const std::vector<T>& data,
                                 const std::vector<uint64_t>& offsets,

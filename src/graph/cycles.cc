@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "serve/thread_pool.h"
 
 namespace wqe::graph {
@@ -185,17 +185,17 @@ std::vector<std::pair<uint32_t, uint32_t>> BuildChunks(
 /// skipped outright.  Conservative (in-flight chunks keep running), but
 /// sound: the merge step still truncates at exactly `max_cycles`.
 struct PrefixBudget {
-  std::mutex mu;
-  std::vector<uint8_t> done;
-  size_t next_prefix = 0;
-  bool count_len2;  ///< which stream merges first
+  common::Mutex mu;
+  std::vector<uint8_t> done WQE_GUARDED_BY(mu);
+  size_t next_prefix WQE_GUARDED_BY(mu) = 0;
+  bool count_len2;  ///< which stream merges first; immutable after ctor
   std::atomic<size_t> prefix_count{0};
 
   PrefixBudget(size_t num_chunks, bool want_len2)
       : done(num_chunks, 0), count_len2(want_len2) {}
 
   void MarkDone(size_t chunk, const std::vector<ChunkBuffer>& buffers) {
-    std::lock_guard<std::mutex> lock(mu);
+    common::MutexLock lock(mu);
     done[chunk] = 1;
     size_t count = prefix_count.load(std::memory_order_relaxed);
     while (next_prefix < done.size() && done[next_prefix]) {

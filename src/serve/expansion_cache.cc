@@ -49,7 +49,7 @@ std::shared_ptr<const api::ExpandResponse> ExpansionCache::Get(
     const Key& key) {
   Shard& shard = ShardFor(key.Hash());
   auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -72,7 +72,7 @@ void ExpansionCache::Put(const Key& key, api::ExpandResponse response) {
   auto value = std::make_shared<const api::ExpandResponse>(std::move(response));
   Shard& shard = ShardFor(key.Hash());
   auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->value = std::move(value);
@@ -91,10 +91,49 @@ void ExpansionCache::Put(const Key& key, api::ExpandResponse response) {
 
 void ExpansionCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
   }
+}
+
+Status ExpansionCache::CheckShardInvariants() const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    common::MutexLock lock(shard.mu);
+    if (shard.lru.size() != shard.index.size()) {
+      return Status::Internal("shard ", s, ": lru holds ", shard.lru.size(),
+                              " entries but index holds ",
+                              shard.index.size());
+    }
+    if (shard.lru.size() > per_shard_capacity_) {
+      return Status::Internal("shard ", s, ": ", shard.lru.size(),
+                              " entries exceed per-shard capacity ",
+                              per_shard_capacity_);
+    }
+    // Bijection: every list node is indexed under its own key and the
+    // index maps that key straight back to the node.  With equal sizes
+    // this also proves every index entry resolves to a live node.
+    for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+      auto found = shard.index.find(it->key);
+      if (found == shard.index.end()) {
+        return Status::Internal("shard ", s,
+                                ": lru entry missing from the index");
+      }
+      if (found->second != it) {
+        return Status::Internal("shard ", s,
+                                ": index maps a key to a different node");
+      }
+      if (it->value == nullptr) {
+        return Status::Internal("shard ", s, ": null cached value");
+      }
+      if (&ShardFor(it->key.Hash()) != &shard) {
+        return Status::Internal("shard ", s,
+                                ": entry hashed to a different shard");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 ExpansionCacheStats ExpansionCache::stats() const {
@@ -110,7 +149,7 @@ ExpansionCacheStats ExpansionCache::stats() const {
 size_t ExpansionCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;

@@ -23,12 +23,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "api/engine.h"
+#include "common/mutex.h"
+#include "common/status.h"
 
 namespace wqe::serve {
 
@@ -95,6 +96,16 @@ class ExpansionCache {
   /// \brief Drops every entry; counters are kept.
   void Clear();
 
+  /// \brief Structural validator (the dynamic complement of the lock
+  /// annotations): checks, per shard under its mutex, that the LRU list
+  /// and the index are a bijection — equal sizes, every index entry
+  /// resolving to a live list node with the same key, every list node
+  /// indexed under its own key — that occupancy respects the per-shard
+  /// capacity, and that no entry is null.  O(entries); intended for
+  /// tests and debug builds, safe (just slow) to call concurrently with
+  /// serving traffic.
+  Status CheckShardInvariants() const;
+
   ExpansionCacheStats stats() const;
   size_t size() const;
   size_t num_shards() const { return shards_.size(); }
@@ -113,12 +124,13 @@ class ExpansionCache {
   };
   /// One lock + LRU list (front = most recent) + index per shard.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    mutable common::Mutex mu;
+    std::list<Entry> lru WQE_GUARDED_BY(mu);
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index
+        WQE_GUARDED_BY(mu);
   };
 
-  Shard& ShardFor(uint64_t hash) {
+  Shard& ShardFor(uint64_t hash) const {
     // High bits, so the shard pick stays decorrelated from the
     // shard-local hash table's bucketing; modulo (not a mask) keeps every
     // shard reachable at any configured count.

@@ -39,7 +39,7 @@ Result<api::ExpandResponse> Server::ExpandResolved(
   const expansion::Expander* expander = nullptr;
   std::unique_ptr<expansion::Expander> owned;
   if (batch != nullptr) {
-    std::lock_guard<std::mutex> lock(batch->mu);
+    common::MutexLock lock(batch->mu);
     std::string config = resolved + overrides.ToKey();
     auto it = batch->built.find(config);
     if (it == batch->built.end()) {

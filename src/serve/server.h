@@ -49,11 +49,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "serve/expansion_cache.h"
 #include "serve/thread_pool.h"
@@ -138,8 +138,12 @@ class Server {
   /// each one — a fully warm batch constructs nothing.  Errored slots are
   /// kept so every request on a bad config reports the same status.
   struct BatchExpanders {
-    std::mutex mu;
-    std::map<std::string, Result<std::unique_ptr<expansion::Expander>>> built;
+    common::Mutex mu;
+    /// Guarded for *mutation*; the map's node stability is what lets a
+    /// worker keep using `built[config]->get()` after releasing `mu`
+    /// (the pointee is an immutable, internally thread-safe Expander).
+    std::map<std::string, Result<std::unique_ptr<expansion::Expander>>> built
+        WQE_GUARDED_BY(mu);
   };
 
   /// Serves one expansion: cache lookup first, then — on a miss — the

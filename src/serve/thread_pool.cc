@@ -28,17 +28,20 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
+  // A worker joining its own pool can never return (it would wait on
+  // itself); the drain must be driven from outside the pool.
+  WQE_DCHECK(!OnWorkerThread());
   // Serialize whole shutdowns (not just the flag flip): a second caller
   // blocks here until the first finishes joining, so concurrent Shutdown
   // calls can never double-join the same workers, and every caller
   // returns only once the pool is fully drained.
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  common::MutexLock shutdown_lock(shutdown_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (shutdown_ && workers_.empty()) return;  // already shut down
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -46,7 +49,7 @@ void ThreadPool::Shutdown() {
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -81,8 +84,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      common::MutexLock lock(mu_);
+      // Open-coded wait loop (no predicate lambda) so the analysis can
+      // see the guarded reads happen under mu_.
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

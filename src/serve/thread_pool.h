@@ -12,18 +12,17 @@
 /// only pay off for microsecond tasks.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace wqe::serve {
 
@@ -47,26 +46,28 @@ class ThreadPool {
   /// classic pool self-deadlock); the serving layer never does — workers
   /// run leaf work only.
   template <typename F>
-  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+  auto Submit(F&& fn) WQE_EXCLUDES(mu_)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
     // shared_ptr because std::function requires copyable callables and
     // packaged_task is move-only.
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       WQE_CHECK(!shutdown_);
       queue_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return future;
   }
 
   /// \brief Stops accepting tasks, finishes everything already queued, and
   /// joins the workers.  Idempotent and safe to call concurrently: every
   /// caller returns only after the drain completes.  Called by the
-  /// destructor.
-  void Shutdown();
+  /// destructor.  Must not be called from one of this pool's own workers
+  /// (a worker joining itself deadlocks; checked in debug builds).
+  void Shutdown() WQE_EXCLUDES(shutdown_mu_, mu_);
 
   /// \brief Configured worker count (immutable — safe to read while
   /// another thread shuts the pool down).
@@ -78,7 +79,7 @@ class ThreadPool {
   }
 
   /// \brief Tasks currently queued (diagnostic; racy by nature).
-  size_t queue_depth() const;
+  size_t queue_depth() const WQE_EXCLUDES(mu_);
 
   /// \brief The pool whose worker is executing the calling thread, or
   /// nullptr when the caller is not a pool worker.  Thread-local, O(1).
@@ -94,17 +95,19 @@ class ThreadPool {
   bool OnWorkerThread() const { return CurrentWorkerPool() == this; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() WQE_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  /// Owned by construction and by Shutdown (itself serialized by
-  /// shutdown_mu_); never touched by workers.
-  std::vector<std::thread> workers_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::deque<std::function<void()>> queue_ WQE_GUARDED_BY(mu_);
+  /// Owned by construction and by Shutdown; never touched by workers.
+  /// Guarded by shutdown_mu_, which serializes whole shutdowns —
+  /// shutdown_mu_ is always taken before mu_ (Shutdown nests them in
+  /// that order; no other path holds both).
+  std::vector<std::thread> workers_ WQE_GUARDED_BY(shutdown_mu_);
   size_t num_threads_ = 0;
-  std::mutex shutdown_mu_;
-  bool shutdown_ = false;
+  common::Mutex shutdown_mu_;
+  bool shutdown_ WQE_GUARDED_BY(mu_) = false;
   std::atomic<size_t> tasks_executed_{0};
 };
 

@@ -25,6 +25,26 @@
 #include "wiki/knowledge_base.h"
 
 namespace wqe::graph {
+
+/// Test-only backdoor (friend of CsrGraph): hands out mutable references
+/// to the private CSR arrays so the invariant tests can corrupt a frozen
+/// snapshot and prove `CheckInvariants` catches each violation class.
+struct CsrGraphTestPeer {
+  static std::vector<uint64_t>& out_offsets(CsrGraph& g) {
+    return g.out_offsets_;
+  }
+  static std::vector<NodeId>& out_targets(CsrGraph& g) {
+    return g.out_targets_;
+  }
+  static std::vector<NodeId>& redirect_target(CsrGraph& g) {
+    return g.redirect_target_;
+  }
+  static std::vector<NodeId>& und_neighbors(CsrGraph& g) {
+    return g.und_neighbors_;
+  }
+  static std::vector<uint32_t>& und_mult(CsrGraph& g) { return g.und_mult_; }
+};
+
 namespace {
 
 /// Random article/category graph respecting the Figure 1 schema.
@@ -442,6 +462,95 @@ TEST(KnowledgeBaseFreezeTest, FrozenStructuralReadsMatchUnfrozen) {
   EXPECT_EQ(sorted(cold.Neighborhood({0}, 2, 0)),
             sorted(hot.Neighborhood({0}, 2, 0)));
 }
+
+// --------------------------------------------- structural invariants
+// CheckInvariants is the debug-build validator Freeze runs before a
+// snapshot can serve (see ci.sh's asan/tsan Debug lanes); these tests
+// exercise it directly: clean on everything Freeze produces, and a
+// distinct diagnostic per corrupted array.
+
+TEST(CsrInvariantsTest, FreshSnapshotsAreClean) {
+  EXPECT_TRUE(CsrGraph().CheckInvariants().ok());  // default-constructed
+  CsrGraph tiny = CsrGraph::Freeze(TinyWiki());
+  EXPECT_TRUE(tiny.CheckInvariants().ok());
+  for (uint64_t seed : {1u, 7u, 99u}) {
+    CsrGraph csr = CsrGraph::Freeze(RandomSchemaGraph(seed, 30, 10, 220));
+    EXPECT_TRUE(csr.CheckInvariants().ok()) << "seed " << seed;
+  }
+}
+
+TEST(CsrInvariantsTest, DetectsUnsortedRow) {
+  CsrGraph csr = CsrGraph::Freeze(RandomSchemaGraph(3, 20, 8, 150));
+  std::vector<NodeId>& targets = CsrGraphTestPeer::out_targets(csr);
+  ASSERT_GE(targets.size(), 2u);
+  // Find a row with >= 2 entries and swap its ends out of order.
+  std::vector<uint64_t>& offsets = CsrGraphTestPeer::out_offsets(csr);
+  for (size_t u = 0; u + 1 < offsets.size(); ++u) {
+    if (offsets[u + 1] - offsets[u] >= 2 &&
+        targets[offsets[u]] != targets[offsets[u + 1] - 1]) {
+      std::swap(targets[offsets[u]], targets[offsets[u + 1] - 1]);
+      break;
+    }
+  }
+  Status status = csr.CheckInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not sorted"), std::string::npos) << status;
+}
+
+TEST(CsrInvariantsTest, DetectsNonMonotoneOffsets) {
+  CsrGraph csr = CsrGraph::Freeze(RandomSchemaGraph(4, 20, 8, 150));
+  std::vector<uint64_t>& offsets = CsrGraphTestPeer::out_offsets(csr);
+  ASSERT_GE(offsets.size(), 3u);
+  offsets[1] = offsets.back() + 1;  // overshoots its successor
+  EXPECT_FALSE(csr.CheckInvariants().ok());
+}
+
+TEST(CsrInvariantsTest, DetectsRedirectTableDrift) {
+  CsrGraph csr = CsrGraph::Freeze(TinyWiki());  // has one redirect edge
+  std::vector<NodeId>& redirect = CsrGraphTestPeer::redirect_target(csr);
+  auto it = std::find_if(redirect.begin(), redirect.end(),
+                         [](NodeId t) { return t != kInvalidNode; });
+  ASSERT_NE(it, redirect.end());
+  *it = kInvalidNode;  // table forgets an existing redirect edge
+  Status status = csr.CheckInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("redirect table"), std::string::npos)
+      << status;
+}
+
+TEST(CsrInvariantsTest, DetectsAsymmetricUndirectedMultiplicity) {
+  CsrGraph csr = CsrGraph::Freeze(RandomSchemaGraph(5, 20, 8, 150));
+  std::vector<uint32_t>& mult = CsrGraphTestPeer::und_mult(csr);
+  ASSERT_FALSE(mult.empty());
+  mult.front() += 1;  // (u,v) no longer matches (v,u)
+  Status status = csr.CheckInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("asymmetric"), std::string::npos) << status;
+}
+
+TEST(CsrInvariantsTest, DetectsOutOfRangeNeighbor) {
+  CsrGraph csr = CsrGraph::Freeze(RandomSchemaGraph(6, 20, 8, 150));
+  std::vector<NodeId>& neighbors = CsrGraphTestPeer::und_neighbors(csr);
+  ASSERT_FALSE(neighbors.empty());
+  neighbors.back() = csr.num_nodes() + 17;
+  EXPECT_FALSE(csr.CheckInvariants().ok());
+}
+
+#ifndef NDEBUG
+// The freeze-time enforcement path: DCheckInvariants (what Freeze calls
+// in Debug builds) must abort the process on a corrupted snapshot, not
+// let it serve.  Death tests only mean anything where WQE_DCHECK is
+// live, i.e. builds without NDEBUG — the CI tsan/asan lanes.
+TEST(CsrInvariantsDeathTest, CorruptedSnapshotAbortsInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CsrGraph csr = CsrGraph::Freeze(RandomSchemaGraph(8, 20, 8, 150));
+  csr.DCheckInvariants();  // clean: must not abort
+  std::vector<uint32_t>& mult = CsrGraphTestPeer::und_mult(csr);
+  ASSERT_FALSE(mult.empty());
+  mult.front() += 1;
+  EXPECT_DEATH(csr.DCheckInvariants(), "asymmetric");
+}
+#endif  // NDEBUG
 
 }  // namespace
 }  // namespace wqe::graph

@@ -77,6 +77,36 @@ TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
   EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
 }
 
+#ifndef NDEBUG
+// The annotated join contract (`Shutdown` is WQE_EXCLUDES and must be
+// driven from outside the pool): a worker shutting down its own pool
+// would join itself and hang forever, so Debug builds abort instead.
+// Live only where WQE_DCHECK is compiled in — the CI tsan/asan lanes.
+TEST(ThreadPoolDeathTest, ShutdownFromWorkerAssertsInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Submit([&pool] { pool.Shutdown(); }).get();
+      },
+      "OnWorkerThread");
+}
+
+// Same contract one layer up: RunParallel blocks on futures of tasks it
+// just queued, so calling it *from* a worker of the same pool deadlocks
+// a bounded pool.  EffectiveParallelism degrades worker callers to
+// sequential; bypassing it trips the debug check.
+TEST(ThreadPoolDeathTest, RunParallelFromOwnWorkerAssertsInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Submit([&pool] { RunParallel(&pool, 1, [] {}); }).get();
+      },
+      "OnWorkerThread");
+}
+#endif  // NDEBUG
+
 // ------------------------------------------------------- ExpansionCache
 
 ExpansionCache::Key MakeKey(const std::string& keywords,
@@ -247,6 +277,75 @@ TEST(ExpansionCacheTest, EvictedValueStaysAliveForHolders) {
   cache.Put(MakeKey("b"), MakeResponse("b"));  // evicts a
   EXPECT_EQ(cache.Get(MakeKey("a")), nullptr);
   EXPECT_EQ(held->expander, "a");  // shared_ptr keeps the value valid
+}
+
+// Concurrent TTL-expiry + capacity-eviction churn, with the structural
+// validator (LRU ↔ index bijection, occupancy ≤ capacity) interleaved
+// live and re-checked after the drain.  Sized to force both eviction
+// (tiny per-shard capacity) and expiration (TTL shorter than the run);
+// the ci.sh asan lane runs this under ASan+UBSan, where a dangling LRU
+// iterator or double-erase in the expiry path would be fatal.
+TEST(ExpansionCacheTest, ConcurrentTtlChurnKeepsShardInvariants) {
+  ExpansionCacheOptions options;
+  options.capacity = 16;
+  options.num_shards = 4;
+  options.ttl = std::chrono::milliseconds(5);
+  ExpansionCache cache(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 600;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Overlapping key ranges across threads: hits, refreshes,
+        // evictions and expirations all mix on the same shards.
+        std::string key = "k" + std::to_string((t * 17 + i) % 48);
+        if (i % 3 == 0) {
+          cache.Put(MakeKey(key), MakeResponse(key));
+        } else {
+          auto hit = cache.Get(MakeKey(key));
+          if (hit != nullptr) {
+            EXPECT_FALSE(hit->expander.empty());
+          }
+        }
+        if (i % 100 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+    });
+  }
+  // A validator thread audits the shards while the churn is running —
+  // CheckShardInvariants locks shard by shard, so this also exercises
+  // the lock discipline the annotations promise.
+  std::thread auditor([&cache, &stop] {
+    while (!stop.load()) {
+      auto status = cache.CheckShardInvariants();
+      EXPECT_TRUE(status.ok()) << status;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (std::thread& worker : workers) worker.join();
+  stop.store(true);
+  auditor.join();
+
+  auto status = cache.CheckShardInvariants();
+  EXPECT_TRUE(status.ok()) << status;
+  ExpansionCacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, options.capacity);
+  EXPECT_GT(stats.evictions + stats.expirations, 0u)
+      << "churn never aged or evicted anything — test is under-sized";
+  // Let everything expire, then confirm expiry leaves the structures
+  // bijective too (expired entries are torn out of both containers).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  for (int i = 0; i < 48; ++i) {
+    EXPECT_EQ(cache.Get(MakeKey("k" + std::to_string(i))), nullptr);
+  }
+  status = cache.CheckShardInvariants();
+  EXPECT_TRUE(status.ok()) << status;
+  EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 TEST(ExpansionCacheTest, ShardCountRoundsUpAndClearDropsEverything) {
