@@ -70,14 +70,17 @@ EOF
 # so NDEBUG is off and the WQE_DCHECK contracts (registry freeze, nested
 # fan-out) are live — the main build's RelWithDebInfo compiles them out.
 # cycles_test rides along for the parallel-enumerator stress case
-# (chunk cursor, prefix budget, buffer handoff under TSan).
+# (chunk cursor, prefix budget, buffer handoff under TSan); obs_test for
+# the lock-free metrics instruments (multi-writer histogram stress) and
+# trace propagation across pool tasks.  (The asan lane below runs the
+# full ctest suite, so both already cover obs_test there.)
 run_tsan() {
   set -x
   cmake -B build-tsan -S . -DWQE_TSAN=ON -DWQE_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Debug \
     -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
-  (cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test')
+  (cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test|obs_test')
   set +x
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "serve/thread_pool.h"
 
 namespace wqe::api {
@@ -16,6 +17,20 @@ namespace {
 std::string ConfigKey(std::string_view resolved_name,
                       const ExpanderOverrides& overrides) {
   return std::string(resolved_name) + overrides.ToKey();
+}
+
+/// Stage latency histograms, shared by every engine (per-stage timing is
+/// a process-level view; the per-instance split lives in the counters).
+obs::Histogram* ExpandHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("wqe.engine.expand_ms");
+  return histogram;
+}
+
+obs::Histogram* SearchHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("wqe.engine.search_ms");
+  return histogram;
 }
 
 }  // namespace
@@ -59,7 +74,34 @@ Result<std::unique_ptr<Engine>> Engine::Build(wiki::KnowledgeBase kb,
                                    engine->options_.default_expander,
                                    "' is not registered");
   }
+  // Register this engine's counter series under a process-unique
+  // instance label; the pointers are stable for the process lifetime.
+  const obs::Labels labels = {
+      {"engine", std::to_string(obs::NextInstanceId())}};
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  engine->counters_.expanders_constructed =
+      registry.GetCounter("wqe.engine.expanders_constructed", labels);
+  engine->counters_.expand_calls =
+      registry.GetCounter("wqe.engine.expand_calls", labels);
+  engine->counters_.searches =
+      registry.GetCounter("wqe.engine.searches", labels);
+  engine->counters_.batches = registry.GetCounter("wqe.engine.batches", labels);
+  engine->counters_.cache_hits =
+      registry.GetCounter("wqe.engine.cache_hits", labels);
+  engine->counters_.cache_misses =
+      registry.GetCounter("wqe.engine.cache_misses", labels);
   return engine;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats stats;
+  stats.expanders_constructed = counters_.expanders_constructed->value();
+  stats.expand_calls = counters_.expand_calls->value();
+  stats.searches = counters_.searches->value();
+  stats.batches = counters_.batches->value();
+  stats.cache_hits = counters_.cache_hits->value();
+  stats.cache_misses = counters_.cache_misses->value();
+  return stats;
 }
 
 Result<ir::DocId> Engine::AddDocument(std::string_view name,
@@ -89,7 +131,7 @@ Result<std::unique_ptr<expansion::Expander>> Engine::BuildExpander(
   WQE_ASSIGN_OR_RETURN(
       std::unique_ptr<expansion::Expander> built,
       registry_.Create(ResolveStrategy(expander), kb_, *linker_, overrides));
-  ++stats_.expanders_constructed;
+  counters_.expanders_constructed->Inc();
   return built;
 }
 
@@ -112,6 +154,7 @@ Result<ExpandResponse> Engine::ExpandWith(const expansion::Expander& expander,
                                           std::string_view resolved_name,
                                           std::string_view keywords) const {
   Stopwatch watch;
+  obs::Span span("expansion", ExpandHistogram());
   WQE_ASSIGN_OR_RETURN(expansion::ExpandedQuery expanded,
                        expander.Expand(keywords));
   ExpandResponse response;
@@ -121,7 +164,7 @@ Result<ExpandResponse> Engine::ExpandWith(const expansion::Expander& expander,
   response.titles = std::move(expanded.titles);
   response.query = std::move(expanded.query);
   response.expand_ms = watch.ElapsedMillis();
-  ++stats_.expand_calls;
+  counters_.expand_calls->Inc();
   return response;
 }
 
@@ -154,9 +197,12 @@ Result<QueryResponse> Engine::QueryWithExpansion(ExpandResponse expansion,
   response.expansion = std::move(expansion);
   size_t k = top_k == 0 ? options_.default_top_k : top_k;
   Stopwatch search_watch;
-  WQE_ASSIGN_OR_RETURN(response.docs,
-                       search_->Search(response.expansion.query, k));
-  ++stats_.searches;
+  {
+    obs::Span span("search", SearchHistogram());
+    WQE_ASSIGN_OR_RETURN(response.docs,
+                         search_->Search(response.expansion.query, k));
+  }
+  counters_.searches->Inc();
   response.search_ms = search_watch.ElapsedMillis();
   response.total_ms = total.ElapsedMillis();
   return response;
@@ -180,7 +226,7 @@ Result<QueryResponse> Engine::Query(const QueryRequest& request) const {
 
 Result<std::vector<ExpandResponse>> Engine::ExpandBatch(
     const std::vector<ExpandRequest>& requests) const {
-  ++stats_.batches;
+  counters_.batches->Inc();
   std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
   std::vector<ExpandResponse> responses;
   responses.reserve(requests.size());
@@ -204,7 +250,7 @@ Result<std::vector<ExpandResponse>> Engine::ExpandBatch(
 
 Result<std::vector<QueryResponse>> Engine::QueryBatch(
     const std::vector<QueryRequest>& requests) const {
-  ++stats_.batches;
+  counters_.batches->Inc();
   std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
   std::vector<QueryResponse> responses;
   responses.reserve(requests.size());

@@ -29,6 +29,7 @@
 #include "common/result.h"
 #include "ir/search_engine.h"
 #include "linking/entity_linker.h"
+#include "obs/metrics.h"
 #include "wiki/knowledge_base.h"
 
 namespace wqe::serve {
@@ -95,19 +96,22 @@ struct QueryResponse {
   double total_ms = 0.0;
 };
 
-/// \brief Cumulative instrumentation counters (updated on every call;
-/// benches and tests assert batch amortization through these).  Atomic so
-/// the const serving calls stay safe under concurrent use.
+/// \brief Snapshot of the engine's cumulative instrumentation counters
+/// (benches and tests assert batch amortization through these).  Returned
+/// by value from `Engine::stats()`; the live state is `obs::Counter`
+/// instruments registered as `wqe.engine.*{engine=N}` in the global
+/// metrics registry, where N is a per-engine instance id so absolute
+/// counts stay meaningful when several engines coexist in one process.
 struct EngineStats {
-  std::atomic<size_t> expanders_constructed{0};  ///< factory invocations
-  std::atomic<size_t> expand_calls{0};  ///< single expansions served
-  std::atomic<size_t> searches{0};      ///< retrieval invocations
-  std::atomic<size_t> batches{0};       ///< ExpandBatch/QueryBatch calls
+  size_t expanders_constructed = 0;  ///< factory invocations
+  size_t expand_calls = 0;  ///< single expansions served
+  size_t searches = 0;      ///< retrieval invocations
+  size_t batches = 0;       ///< ExpandBatch/QueryBatch calls
   /// Serving-layer expansion-cache outcomes, recorded through
   /// `NoteCacheHit`/`NoteCacheMiss` by the `serve::Server` wrapping this
   /// engine (the engine itself does not cache).
-  std::atomic<size_t> cache_hits{0};
-  std::atomic<size_t> cache_misses{0};
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
 };
 
 /// \brief The facade.  Immutable topology after `Build` (documents may be
@@ -184,8 +188,8 @@ class Engine {
                                            size_t top_k) const;
 
   /// \brief Records a serving-layer cache outcome in `stats()`.
-  void NoteCacheHit() const { ++stats_.cache_hits; }
-  void NoteCacheMiss() const { ++stats_.cache_misses; }
+  void NoteCacheHit() const { counters_.cache_hits->Inc(); }
+  void NoteCacheMiss() const { counters_.cache_misses->Inc(); }
 
   /// \brief Freezes the registry: after this, the non-const `registry()`
   /// accessor is a contract violation (asserted in debug builds).  Called
@@ -215,7 +219,10 @@ class Engine {
   const linking::EntityLinker& linker() const { return *linker_; }
   const ir::SearchEngine& search_engine() const { return *search_; }
   const EngineOptions& options() const { return options_; }
-  const EngineStats& stats() const { return stats_; }
+  /// \brief Coherent-enough copy of the cumulative counters (relaxed
+  /// reads of the backing registry instruments; exact once writers
+  /// quiesce, which is when tests and benches read it).
+  EngineStats stats() const;
   /// \brief The engine-owned enumeration pool; null unless
   /// `EngineOptions::enumeration_threads != 1`.
   serve::ThreadPool* enumeration_pool() const { return enum_pool_.get(); }
@@ -240,6 +247,21 @@ class Engine {
                                   std::string_view resolved_name,
                                   const QueryRequest& request) const;
 
+  /// The registry instruments behind `stats()`.  Resolved once in
+  /// `Build` (global-registry pointers are stable for the process);
+  /// recording through them is wait-free, so the const serving calls
+  /// stay safe under concurrent use — same contract the old atomic
+  /// struct gave, now with the counts exported alongside every other
+  /// metric.
+  struct Counters {
+    obs::Counter* expanders_constructed = nullptr;
+    obs::Counter* expand_calls = nullptr;
+    obs::Counter* searches = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+  };
+
   EngineOptions options_;
   wiki::KnowledgeBase kb_;
   std::unique_ptr<linking::EntityLinker> linker_;
@@ -248,7 +270,7 @@ class Engine {
   /// their defaults, so it must outlive every expander they build.
   std::unique_ptr<serve::ThreadPool> enum_pool_;
   ExpanderRegistry registry_;
-  mutable EngineStats stats_;
+  Counters counters_;
   mutable std::atomic<bool> registry_locked_{false};
 };
 

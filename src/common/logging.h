@@ -5,6 +5,14 @@
 ///
 /// Usage: `WQE_LOG(INFO) << "indexed " << n << " docs";`
 /// Output goes to stderr so bench/table output on stdout stays clean.
+///
+/// The threshold comes from the `WQE_LOG_LEVEL` environment variable at
+/// first use (`debug`/`info`/`warning`/`error`, case-insensitive, or
+/// 0–3); an explicit `SetLogLevel` call wins over the environment
+/// regardless of ordering.  When a trace is in scope (see
+/// common/trace.h and obs/trace.h), log lines carry its id:
+///
+///   [INFO server.cc:42 trace=1b2e9d0c4f5a6b7c] served request
 
 #include <sstream>
 #include <string>

@@ -1,0 +1,17 @@
+#include "common/trace.h"
+
+namespace wqe::common {
+
+namespace {
+thread_local TraceContext t_current;
+}  // namespace
+
+const TraceContext& CurrentTraceContext() { return t_current; }
+
+TraceContext ExchangeCurrentTraceContext(TraceContext ctx) {
+  TraceContext previous = t_current;
+  t_current = ctx;
+  return previous;
+}
+
+}  // namespace wqe::common

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file trace.h
+/// \brief Thread-local trace-context carrier.
+///
+/// The minimal request-tracing state — (trace id, current span id) — lives
+/// here at the bottom of the layering so that `common/logging.cc` can tag
+/// log lines with the active trace without depending on the observability
+/// subsystem above it.  Everything that *manages* this state (span
+/// lifecycle, timing, the finished-span log) is in `obs/trace.h`;
+/// `serve::ThreadPool` captures the caller's context at submit time and
+/// reinstalls it inside the task, so traces follow requests across pool
+/// hops.
+
+#include <cstdint>
+
+namespace wqe::common {
+
+/// \brief The ambient trace position of the calling thread.  A zero
+/// trace id means "no trace in scope".
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  ///< innermost open span (0 at a trace root)
+  /// Head-sampling decision, made once at the trace root and inherited
+  /// by every child span (Dapper-style consistent sampling): only
+  /// sampled traces append `SpanRecord`s to the trace log.  Latency
+  /// histograms are unaffected — they record every request.
+  bool sampled = false;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// \brief The calling thread's current context ({0,0} when none).
+const TraceContext& CurrentTraceContext();
+
+/// \brief Installs `ctx` as the calling thread's context and returns the
+/// previous one.  Callers restore the returned value when their scope
+/// ends (`obs::Span` and `obs::ScopedTraceContext` do this via RAII).
+TraceContext ExchangeCurrentTraceContext(TraceContext ctx);
+
+}  // namespace wqe::common

@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 #include "graph/cycles.h"
 #include "graph/undirected_view.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wqe::expansion {
+
+namespace {
+/// Query-ball materialization latency (neighborhood walk + undirected
+/// slice), shared across expander instances.
+obs::Histogram* BallExtractionHistogram() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "wqe.expansion.ball_extraction_ms");
+  return histogram;
+}
+}  // namespace
 
 bool CycleExpander::AcceptsCycle(const graph::CycleMetrics& metrics) const {
   if (metrics.length < options_.min_cycle_length ||
@@ -33,12 +46,19 @@ Result<std::vector<NodeId>> CycleExpander::SelectFeatures(
   // shared snapshot — no per-request adjacency re-materialization.
   const graph::CsrGraph& csr = kb().csr();
 
-  // 1. Neighborhood ball.
-  std::vector<NodeId> ball = kb().Neighborhood(
-      query_articles, options_.neighborhood_radius, options_.max_neighborhood);
+  // 1. Neighborhood ball + its undirected slice, timed as one stage (the
+  // cost the cache saves on a hit, alongside the enumeration itself).
+  std::vector<NodeId> ball;
+  std::optional<graph::UndirectedView> view_storage;
+  {
+    obs::Span span("ball-extraction", BallExtractionHistogram());
+    ball = kb().Neighborhood(query_articles, options_.neighborhood_radius,
+                             options_.max_neighborhood);
+    view_storage.emplace(csr, ball);
+  }
+  const graph::UndirectedView& view = *view_storage;
 
   // 2. Cycles through a query article.
-  graph::UndirectedView view(csr, ball);
   graph::CycleEnumerationOptions enum_options;
   enum_options.min_length = options_.min_cycle_length;
   enum_options.max_length = options_.max_cycle_length;

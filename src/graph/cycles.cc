@@ -4,11 +4,22 @@
 #include <atomic>
 
 #include "common/mutex.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/thread_pool.h"
 
 namespace wqe::graph {
 
 namespace {
+
+/// Whole-enumeration latency (sequential or parallel), shared by every
+/// enumerator: this is the kernel the serve stack's `enumeration` span
+/// bottoms out in.
+obs::Histogram* EnumerationHistogram() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "wqe.graph.enumeration_latency_ms");
+  return histogram;
+}
 
 /// DFS state for one enumeration run (one thread's worth: the parallel
 /// path gives every worker its own context over the shared view).
@@ -320,6 +331,7 @@ size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
   // Deterministic merge + replay: all length-2 streams in chunk (= start)
   // order, then all DFS streams — exactly the sequential emission order —
   // with the visitor/max_cycles contract applied on this thread.
+  obs::Span merge_span("merge");
   size_t emitted = 0;
   std::vector<uint32_t> scratch;
   auto feed = [&](const std::vector<uint32_t>& lengths,
@@ -365,6 +377,7 @@ CycleVisitor CollectInto(const UndirectedView& view, std::vector<Cycle>* out) {
 
 size_t CycleEnumerator::Visit(const CycleEnumerationOptions& options,
                               const CycleVisitor& visitor) const {
+  obs::Span span("enumeration", EnumerationHistogram());
   if (serve::EffectiveParallelism(options.num_threads, options.pool) > 1) {
     return ParallelVisit(options, visitor);
   }

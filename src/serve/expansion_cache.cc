@@ -43,6 +43,14 @@ ExpansionCache::ExpansionCache(ExpansionCacheOptions options)
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  obs::MetricsRegistry& registry = options_.registry != nullptr
+                                       ? *options_.registry
+                                       : obs::MetricsRegistry::Global();
+  const obs::Labels labels = {{"cache", std::to_string(obs::NextInstanceId())}};
+  hits_ = registry.GetCounter("wqe.cache.hits", labels);
+  misses_ = registry.GetCounter("wqe.cache.misses", labels);
+  evictions_ = registry.GetCounter("wqe.cache.evictions", labels);
+  expirations_ = registry.GetCounter("wqe.cache.expirations", labels);
 }
 
 std::shared_ptr<const api::ExpandResponse> ExpansionCache::Get(
@@ -52,19 +60,19 @@ std::shared_ptr<const api::ExpandResponse> ExpansionCache::Get(
   common::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->Inc();
     return nullptr;
   }
   if (Expired(*it->second, now)) {
     shard.lru.erase(it->second);
     shard.index.erase(it);
-    expirations_.fetch_add(1, std::memory_order_relaxed);
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    expirations_->Inc();
+    misses_->Inc();
     return nullptr;
   }
   // Refresh: move to the front of the shard's recency list.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_->Inc();
   return it->second->value;
 }
 
@@ -85,7 +93,7 @@ void ExpansionCache::Put(const Key& key, api::ExpandResponse response) {
   if (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->Inc();
   }
 }
 
@@ -138,10 +146,10 @@ Status ExpansionCache::CheckShardInvariants() const {
 
 ExpansionCacheStats ExpansionCache::stats() const {
   ExpansionCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.expirations = expirations_.load(std::memory_order_relaxed);
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.evictions = evictions_->value();
+  stats.expirations = expirations_->value();
   stats.entries = size();
   return stats;
 }

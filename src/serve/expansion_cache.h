@@ -30,6 +30,7 @@
 #include "api/engine.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace wqe::serve {
 
@@ -42,6 +43,10 @@ struct ExpansionCacheOptions {
   /// Entries older than this are treated as misses and dropped;
   /// zero disables expiry.
   std::chrono::milliseconds ttl{0};
+  /// Where the cache registers its `wqe.cache.*{cache=N}` counters;
+  /// null uses the global registry.  The `serve::Server` propagates its
+  /// own registry choice here so one knob isolates a whole stack.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// \brief Counter snapshot (monotonic except `entries`).
@@ -144,10 +149,13 @@ class ExpansionCache {
   ExpansionCacheOptions options_;
   size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<size_t> hits_{0};
-  std::atomic<size_t> misses_{0};
-  std::atomic<size_t> evictions_{0};
-  std::atomic<size_t> expirations_{0};
+  /// Registry-backed outcome counters (`wqe.cache.*{cache=N}`), resolved
+  /// in the constructor; recording stays one relaxed fetch_add, exactly
+  /// what the member atomics they replaced cost.
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* expirations_ = nullptr;
 };
 
 }  // namespace wqe::serve

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <map>
+#include <string>
 #include <utility>
 
 #include "common/macros.h"
@@ -10,16 +11,67 @@ namespace wqe::serve {
 Server::Server(const api::Engine& engine, ServerOptions options)
     : engine_(&engine),
       options_(std::move(options)),
-      cache_(options_.enable_cache
-                 ? std::make_unique<ExpansionCache>(options_.cache)
-                 : nullptr),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : &obs::MetricsRegistry::Global()),
       pool_(options_.num_threads) {
   engine_->LockRegistry();
+  const obs::Labels labels = {
+      {"server", std::to_string(obs::NextInstanceId())}};
+  instruments_.requests = registry_->GetCounter("wqe.server.requests", labels);
+  instruments_.batches = registry_->GetCounter("wqe.server.batches", labels);
+  instruments_.requests_failed =
+      registry_->GetCounter("wqe.server.requests_failed", labels);
+  auto stage_errors = [&](const char* stage) {
+    obs::Labels staged = labels;
+    staged.emplace_back("stage", stage);
+    return registry_->GetCounter("wqe.server.errors_total", std::move(staged));
+  };
+  instruments_.errors_expander_construction =
+      stage_errors("expander-construction");
+  instruments_.errors_expansion = stage_errors("expansion");
+  instruments_.errors_search = stage_errors("search");
+  instruments_.request_latency =
+      registry_->GetHistogram("wqe.server.request_latency_ms", labels);
+  instruments_.cache_lookup =
+      registry_->GetHistogram("wqe.server.cache_lookup_ms", labels);
+  instruments_.expander_construction =
+      registry_->GetHistogram("wqe.server.expander_construction_ms", labels);
+  instruments_.queue_depth =
+      registry_->GetGauge("wqe.server.queue_depth", labels);
+  // The cache registers its own counters; default it into this server's
+  // registry so one knob isolates the whole stack.
+  if (options_.enable_cache) {
+    if (options_.cache.registry == nullptr) {
+      options_.cache.registry = registry_;
+    }
+    cache_ = std::make_unique<ExpansionCache>(options_.cache);
+  }
 }
 
 Server::~Server() { Shutdown(); }
 
 void Server::Shutdown() { pool_.Shutdown(); }
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.requests = instruments_.requests->value();
+  stats.batches = instruments_.batches->value();
+  stats.requests_failed = instruments_.requests_failed->value();
+  return stats;
+}
+
+ServerSnapshot Server::StatsSnapshot() const {
+  ServerSnapshot snapshot;
+  snapshot.server = stats();
+  snapshot.engine = engine_->stats();
+  snapshot.cache_enabled = cache_ != nullptr;
+  if (cache_ != nullptr) snapshot.cache = cache_->stats();
+  snapshot.request_latency_ms = instruments_.request_latency->snapshot();
+  snapshot.queue_depth = pool_.queue_depth();
+  snapshot.pool_threads = pool_.num_threads();
+  snapshot.tasks_executed = pool_.tasks_executed();
+  return snapshot;
+}
 
 Result<api::ExpandResponse> Server::ExpandResolved(
     const std::string& resolved, const std::string& keywords,
@@ -27,7 +79,12 @@ Result<api::ExpandResponse> Server::ExpandResolved(
   ExpansionCache::Key key;
   if (cache_ != nullptr) {
     key = ExpansionCache::Key{keywords, resolved, overrides};
-    if (std::shared_ptr<const api::ExpandResponse> hit = cache_->Get(key)) {
+    std::shared_ptr<const api::ExpandResponse> hit;
+    {
+      obs::Span span("cache-lookup", instruments_.cache_lookup, registry_);
+      hit = cache_->Get(key);
+    }
+    if (hit != nullptr) {
       engine_->NoteCacheHit();
       return *hit;  // copy out of the shared entry
     }
@@ -38,25 +95,42 @@ Result<api::ExpandResponse> Server::ExpandResolved(
   // on the shared instance is const) or locally owned for singles.
   const expansion::Expander* expander = nullptr;
   std::unique_ptr<expansion::Expander> owned;
-  if (batch != nullptr) {
-    common::MutexLock lock(batch->mu);
-    std::string config = resolved + overrides.ToKey();
-    auto it = batch->built.find(config);
-    if (it == batch->built.end()) {
-      it = batch->built
-               .emplace(std::move(config),
-                        engine_->BuildExpander(resolved, overrides))
-               .first;
+  {
+    obs::Span span("expander-construction", instruments_.expander_construction,
+                   registry_);
+    if (batch != nullptr) {
+      common::MutexLock lock(batch->mu);
+      std::string config = resolved + overrides.ToKey();
+      auto it = batch->built.find(config);
+      if (it == batch->built.end()) {
+        it = batch->built
+                 .emplace(std::move(config),
+                          engine_->BuildExpander(resolved, overrides))
+                 .first;
+      }
+      if (!it->second.ok()) {
+        instruments_.errors_expander_construction->Inc();
+        return it->second.status();
+      }
+      expander = it->second->get();
+    } else {
+      Result<std::unique_ptr<expansion::Expander>> built =
+          engine_->BuildExpander(resolved, overrides);
+      if (!built.ok()) {
+        instruments_.errors_expander_construction->Inc();
+        return built.status();
+      }
+      owned = std::move(*built);
+      expander = owned.get();
     }
-    if (!it->second.ok()) return it->second.status();
-    expander = it->second->get();
-  } else {
-    WQE_ASSIGN_OR_RETURN(owned, engine_->BuildExpander(resolved, overrides));
-    expander = owned.get();
   }
-  WQE_ASSIGN_OR_RETURN(api::ExpandResponse response,
-                       engine_->ExpandWith(*expander, resolved, keywords));
-  if (cache_ != nullptr) cache_->Put(key, response);
+  Result<api::ExpandResponse> response =
+      engine_->ExpandWith(*expander, resolved, keywords);
+  if (!response.ok()) {
+    instruments_.errors_expansion->Inc();
+    return response.status();
+  }
+  if (cache_ != nullptr) cache_->Put(key, *response);
   return response;
 }
 
@@ -73,28 +147,51 @@ Result<api::QueryResponse> Server::QueryOne(const api::QueryRequest& request) {
       ExpandResolved(engine_->ResolveStrategy(request.expander),
                      request.keywords, request.overrides,
                      /*expander=*/nullptr));
-  return engine_->QueryWithExpansion(std::move(expansion), request.top_k);
+  Result<api::QueryResponse> response =
+      engine_->QueryWithExpansion(std::move(expansion), request.top_k);
+  if (!response.ok()) instruments_.errors_search->Inc();
+  return response;
+}
+
+template <typename Response, typename Work>
+Result<Response> Server::ServeRequest(Work&& work) {
+  obs::Span span("request", instruments_.request_latency, registry_);
+  Result<Response> result = work();
+  if (!result.ok()) instruments_.requests_failed->Inc();
+  return result;
 }
 
 std::future<Result<api::QueryResponse>> Server::Submit(
     api::QueryRequest request) {
-  ++stats_.requests;
-  return pool_.Submit(
-      [this, request = std::move(request)]() { return QueryOne(request); });
+  instruments_.requests->Inc();
+  auto future = pool_.Submit([this, request = std::move(request)]() {
+    return ServeRequest<api::QueryResponse>(
+        [&] { return QueryOne(request); });
+  });
+  instruments_.queue_depth->Set(static_cast<double>(pool_.queue_depth()));
+  return future;
 }
 
 std::future<Result<api::ExpandResponse>> Server::SubmitExpand(
     api::ExpandRequest request) {
-  ++stats_.requests;
-  return pool_.Submit(
-      [this, request = std::move(request)]() { return ExpandOne(request); });
+  instruments_.requests->Inc();
+  auto future = pool_.Submit([this, request = std::move(request)]() {
+    return ServeRequest<api::ExpandResponse>(
+        [&] { return ExpandOne(request); });
+  });
+  instruments_.queue_depth->Set(static_cast<double>(pool_.queue_depth()));
+  return future;
 }
 
 template <typename Request, typename Response, typename Run>
 Result<std::vector<Response>> Server::RunBatch(
     const std::vector<Request>& requests, const char* what, Run run) {
-  ++stats_.batches;
-  stats_.requests += requests.size();
+  // Root span for the whole batch: the per-request `request` spans parent
+  // under it (their tasks run with this context re-installed by the
+  // pool), so one trace covers submit → queue-wait → stages → merge.
+  obs::Span batch_span("batch", /*latency=*/nullptr, registry_);
+  instruments_.batches->Inc();
+  instruments_.requests->Inc(requests.size());
 
   // Phase 1 (caller thread): resolve names only.  Expanders are built
   // lazily in the workers — at most one per distinct (strategy,
@@ -113,10 +210,12 @@ Result<std::vector<Response>> Server::RunBatch(
   futures.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     futures.push_back(
-        pool_.Submit([&run, &requests, &resolved, &expanders, i]() {
-          return run(&expanders, resolved[i], requests[i]);
+        pool_.Submit([this, &run, &requests, &resolved, &expanders, i]() {
+          return ServeRequest<Response>(
+              [&] { return run(&expanders, resolved[i], requests[i]); });
         }));
   }
+  instruments_.queue_depth->Set(static_cast<double>(pool_.queue_depth()));
 
   // Phase 3: collect every result, then surface the lowest failing index
   // (matching the sequential batch's first-error semantics — a bad
@@ -125,6 +224,7 @@ Result<std::vector<Response>> Server::RunBatch(
   std::vector<Result<Response>> results;
   results.reserve(futures.size());
   for (auto& future : futures) results.push_back(future.get());
+  obs::Span merge_span("merge", /*latency=*/nullptr, registry_);
   std::vector<Response> responses;
   responses.reserve(results.size());
   for (size_t i = 0; i < results.size(); ++i) {
@@ -146,8 +246,10 @@ Result<std::vector<api::QueryResponse>> Server::QueryBatch(
         WQE_ASSIGN_OR_RETURN(
             api::ExpandResponse expansion,
             ExpandResolved(name, request.keywords, request.overrides, batch));
-        return engine_->QueryWithExpansion(std::move(expansion),
-                                           request.top_k);
+        Result<api::QueryResponse> response =
+            engine_->QueryWithExpansion(std::move(expansion), request.top_k);
+        if (!response.ok()) instruments_.errors_search->Inc();
+        return response;
       });
 }
 

@@ -55,6 +55,8 @@
 #include "api/engine.h"
 #include "common/mutex.h"
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/expansion_cache.h"
 #include "serve/thread_pool.h"
 
@@ -68,12 +70,42 @@ struct ServerOptions {
   /// measurements of the uncached path).
   bool enable_cache = true;
   ExpansionCacheOptions cache;
+  /// Where this server registers its instruments and appends its spans;
+  /// null uses the process-global registry.  Must outlive the server.
+  /// Propagated into `cache.registry` when that is unset, so pointing a
+  /// server at a private registry isolates the whole stack — how the
+  /// serving bench gets clean per-configuration percentiles.  The
+  /// pool-level `wqe.serve.queue_wait_ms` histogram is the one exception:
+  /// pools are registry-agnostic, so queue waits always aggregate
+  /// globally (their spans still land in this server's trace log via the
+  /// submitter's context).
+  obs::MetricsRegistry* registry = nullptr;
 };
 
-/// \brief Server-side counters (the engine and cache keep their own).
+/// \brief Snapshot of the server-side counters (the engine and cache keep
+/// their own).  Returned by value from `Server::stats()`; the live state
+/// is `obs::Counter` instruments (`wqe.server.*{server=N}`).
 struct ServerStats {
-  std::atomic<size_t> requests{0};  ///< singles + batched items accepted
-  std::atomic<size_t> batches{0};   ///< QueryBatch/ExpandBatch calls
+  size_t requests = 0;  ///< singles + batched items accepted
+  size_t batches = 0;   ///< QueryBatch/ExpandBatch calls
+  /// Requests whose `Result` came back non-OK (any stage; the per-stage
+  /// split is the `wqe.server.errors_total{stage=...}` counter series).
+  size_t requests_failed = 0;
+};
+
+/// \brief One coherent-enough view of a serving stack: server, engine and
+/// cache counters plus the request-latency distribution — everything the
+/// SLO records in the serving bench and the README example are built
+/// from.  `request_latency_ms.Percentile(0.99)` is the p99.
+struct ServerSnapshot {
+  ServerStats server;
+  api::EngineStats engine;
+  bool cache_enabled = false;
+  ExpansionCacheStats cache;  ///< zeros when the cache is disabled
+  obs::HistogramSnapshot request_latency_ms;
+  size_t queue_depth = 0;  ///< racy by nature (see ThreadPool)
+  size_t pool_threads = 0;
+  size_t tasks_executed = 0;
 };
 
 /// \brief Concurrent front-end over one `api::Engine`.  Thread-safe: any
@@ -130,7 +162,15 @@ class Server {
   ThreadPool& pool() { return pool_; }
   /// \brief Null when the cache is disabled.
   const ExpansionCache* cache() const { return cache_.get(); }
-  const ServerStats& stats() const { return stats_; }
+  /// \brief Coherent-enough copy of the server counters (relaxed reads;
+  /// exact once in-flight requests drain).
+  ServerStats stats() const;
+  /// \brief Full serving-stack snapshot: counters, latency distribution,
+  /// pool state.  See `ServerSnapshot`.
+  ServerSnapshot StatsSnapshot() const;
+  /// \brief The registry this server records into (the global one unless
+  /// `ServerOptions::registry` redirected it).
+  obs::MetricsRegistry& metrics_registry() const { return *registry_; }
 
  private:
   /// One batch's shared expanders, keyed by (strategy, overrides) config
@@ -156,6 +196,29 @@ class Server {
   Result<api::ExpandResponse> ExpandOne(const api::ExpandRequest& request);
   Result<api::QueryResponse> QueryOne(const api::QueryRequest& request);
 
+  /// This server's registry instruments (`{server=N}`-labeled), resolved
+  /// once at construction; recording through them is wait-free.  The
+  /// stage-error counters share one name (`wqe.server.errors_total`)
+  /// split by a `stage` label, mirroring the span stages that can fail.
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* requests_failed = nullptr;
+    obs::Counter* errors_expander_construction = nullptr;
+    obs::Counter* errors_expansion = nullptr;
+    obs::Counter* errors_search = nullptr;
+    obs::Histogram* request_latency = nullptr;
+    obs::Histogram* cache_lookup = nullptr;
+    obs::Histogram* expander_construction = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+  };
+
+  /// Runs `work()` under a root `request` span (latency → the
+  /// `wqe.server.request_latency_ms` histogram), counting acceptance and
+  /// failure.  The shared tail of every per-request pool task.
+  template <typename Response, typename Work>
+  Result<Response> ServeRequest(Work&& work);
+
   /// Shared batch skeleton: prepare shared expanders (caller thread), fan
   /// out `run` per request (pool), collect in order, surface the first
   /// error with `what` context.
@@ -165,9 +228,10 @@ class Server {
 
   const api::Engine* engine_;
   ServerOptions options_;
+  obs::MetricsRegistry* registry_;  ///< never null after construction
+  Instruments instruments_;
   std::unique_ptr<ExpansionCache> cache_;  ///< null when disabled
   ThreadPool pool_;
-  mutable ServerStats stats_;
 };
 
 }  // namespace wqe::serve

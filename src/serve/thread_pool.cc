@@ -1,8 +1,13 @@
 #include "serve/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wqe::serve {
 
@@ -10,6 +15,36 @@ namespace {
 /// Set for the lifetime of WorkerLoop; never cleared mid-run, so a task
 /// can always identify the pool it is running on.
 thread_local ThreadPool* t_current_pool = nullptr;
+
+/// Process-wide queue-wait latency across all pools.  Resolved once; the
+/// global registry's instruments live for the process, so the static
+/// pointer never dangles.
+obs::Histogram* QueueWaitHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("wqe.serve.queue_wait_ms");
+  return histogram;
+}
+
+/// Records the enqueue→dequeue gap: always into the histogram, and — when
+/// the submitter had a trace in scope — as that trace's own `queue-wait`
+/// span (a sibling of the spans the task itself opens).
+void RecordQueueWait(std::chrono::steady_clock::time_point enqueued,
+                     const common::TraceContext& ctx) {
+  const auto now = std::chrono::steady_clock::now();
+  const double wait_ms =
+      std::chrono::duration<double, std::milli>(now - enqueued).count();
+  QueueWaitHistogram()->Record(wait_ms);
+  if (ctx.active() && ctx.sampled) {
+    obs::SpanRecord record;
+    record.trace_id = ctx.trace_id;
+    record.span_id = obs::NewSpanId();
+    record.parent_span_id = ctx.span_id;
+    record.stage = "queue-wait";
+    record.start_ms = obs::MillisSinceProcessStart(enqueued);
+    record.duration_ms = wait_ms;
+    obs::MetricsRegistry::Global().trace_log().Append(std::move(record));
+  }
+}
 }  // namespace
 
 ThreadPool* ThreadPool::CurrentWorkerPool() { return t_current_pool; }
@@ -26,6 +61,27 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  // Capture the submitter's trace context so spans opened inside the task
+  // parent under the submitting request, and timestamp the enqueue so the
+  // dequeue side can account the queue wait.
+  const bool timed = obs::Enabled();
+  const common::TraceContext ctx =
+      timed ? common::CurrentTraceContext() : common::TraceContext{};
+  const auto enqueued = timed ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
+  {
+    common::MutexLock lock(mu_);
+    WQE_CHECK(!shutdown_);
+    queue_.push_back([fn = std::move(fn), ctx, enqueued, timed] {
+      obs::ScopedTraceContext scope(ctx);
+      if (timed) RecordQueueWait(enqueued, ctx);
+      fn();
+    });
+  }
+  cv_.NotifyOne();
+}
 
 void ThreadPool::Shutdown() {
   // A worker joining its own pool can never return (it would wait on

@@ -45,6 +45,12 @@ class ThreadPool {
   /// Tasks must not block on futures of tasks queued behind them (the
   /// classic pool self-deadlock); the serving layer never does — workers
   /// run leaf work only.
+  ///
+  /// Observability: the submitter's `common::TraceContext` is captured
+  /// here and re-installed for the task's duration, so spans opened
+  /// inside the task parent under the submitting request; the
+  /// enqueue→dequeue gap is recorded as a `queue-wait` span and into the
+  /// `wqe.serve.queue_wait_ms` histogram (see Enqueue).
   template <typename F>
   auto Submit(F&& fn) WQE_EXCLUDES(mu_)
       -> std::future<std::invoke_result_t<std::decay_t<F>>> {
@@ -53,12 +59,7 @@ class ThreadPool {
     // packaged_task is move-only.
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
-    {
-      common::MutexLock lock(mu_);
-      WQE_CHECK(!shutdown_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.NotifyOne();
+    Enqueue([task] { (*task)(); });
     return future;
   }
 
@@ -95,6 +96,11 @@ class ThreadPool {
   bool OnWorkerThread() const { return CurrentWorkerPool() == this; }
 
  private:
+  /// Type-erased submit: wraps `fn` with trace-context propagation and
+  /// queue-wait accounting, then queues it.  Out of line so the
+  /// template stays free of observability plumbing.
+  void Enqueue(std::function<void()> fn) WQE_EXCLUDES(mu_);
+
   void WorkerLoop() WQE_EXCLUDES(mu_);
 
   mutable common::Mutex mu_;

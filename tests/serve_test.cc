@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "api/testbed.h"
+#include "obs/metrics.h"
 #include "serve/expansion_cache.h"
 #include "serve/server.h"
 #include "serve/thread_pool.h"
@@ -419,7 +420,7 @@ TEST(ServerTest, SubmitMatchesEngineQuery) {
   ASSERT_TRUE(served.ok()) << served.status();
   EXPECT_EQ(served->docs, sequential->docs);
   EXPECT_EQ(served->expansion.titles, sequential->expansion.titles);
-  EXPECT_EQ(server.stats().requests.load(), 1u);
+  EXPECT_EQ(server.stats().requests, 1u);
 }
 
 TEST(ServerTest, ParallelEnumerationDegradesOnWorkersNoDeadlock) {
@@ -525,8 +526,8 @@ TEST(ServerTest, BatchAmortizesExpanderConstruction) {
   ASSERT_TRUE(batch.ok()) << batch.status();
   EXPECT_EQ(bed.engine().stats().expanders_constructed - before,
             distinct.size());
-  EXPECT_EQ(server.stats().batches.load(), 1u);
-  EXPECT_EQ(server.stats().requests.load(), requests.size());
+  EXPECT_EQ(server.stats().batches, 1u);
+  EXPECT_EQ(server.stats().requests, requests.size());
 }
 
 TEST(ServerTest, SecondPassServesFromCache) {
@@ -621,6 +622,44 @@ TEST(ServerTest, BatchFailureNamesLowestFailingRequest) {
   EXPECT_NE(parallel.status().message().find("QueryBatch request #0"),
             std::string::npos)
       << parallel.status();
+}
+
+TEST(ServerTest, FailedRequestsAreCountedByStage) {
+  const api::Testbed& bed = SmallBed();
+  // A private registry isolates this server's instruments from every
+  // other test's servers (each stack would otherwise share the global
+  // registry under fresh instance labels — correct, but noisy to query).
+  obs::MetricsRegistry registry;
+  ServerOptions options;
+  options.registry = &registry;
+  Server server(bed.engine(), options);
+
+  api::QueryRequest good;
+  good.keywords = bed.topic(0).keywords;
+  ASSERT_TRUE(server.Submit(good).get().ok());
+
+  api::QueryRequest bad;
+  bad.keywords = bed.topic(1).keywords;
+  bad.expander = "warp-drive";
+  Result<api::QueryResponse> failed = server.Submit(std::move(bad)).get();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsNotFound());
+
+  ServerSnapshot snapshot = server.StatsSnapshot();
+  EXPECT_EQ(snapshot.server.requests, 2u);
+  EXPECT_EQ(snapshot.server.requests_failed, 1u);
+  if (obs::kCompiledIn) {
+    // Failures are latencies too: both requests landed in the histogram.
+    EXPECT_EQ(snapshot.request_latency_ms.count, 2u);
+  }
+  // The per-stage error series names the stage that failed (the unknown
+  // strategy dies in expander construction) and nothing else.
+  const std::string prom = registry.DumpPrometheus();
+  EXPECT_NE(prom.find("stage=\"expander-construction\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("stage=\"expansion\"} 0"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("stage=\"search\"} 0"), std::string::npos) << prom;
 }
 
 #ifndef NDEBUG
@@ -727,7 +766,7 @@ TEST(ServerStressTest, MixedConcurrentCallersProduceSequentialResults) {
   ASSERT_NE(server.cache(), nullptr);
   ExpansionCacheStats stats = server.cache()->stats();
   EXPECT_GT(stats.hits, 0u);
-  EXPECT_EQ(stats.hits + stats.misses, server.stats().requests.load());
+  EXPECT_EQ(stats.hits + stats.misses, server.stats().requests);
 }
 
 }  // namespace
