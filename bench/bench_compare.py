@@ -7,6 +7,12 @@ against a current one and exits non-zero when any matched record
 regressed by more than the threshold (default 10%).
 
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+    bench_compare.py --write-baseline DIR CURRENT.json [CURRENT2.json ...]
+
+The second form validates each BENCH_*.json and installs it into DIR as
+the committed baseline (DIR/BENCH_<bench>.json, pretty-printed so diffs
+review cleanly).  See bench/baselines/README.md for the capture
+procedure — baselines must come from a quiet multi-core host, not CI.
 
 Records are matched by (name, metric, config).  Direction is inferred
 from the metric:
@@ -25,6 +31,7 @@ bench-smoke job whenever a baseline file is present, plus a self-compare
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -53,16 +60,44 @@ def direction(metric):
     return 0
 
 
+def write_baseline(directory, paths):
+    """Validate each BENCH_*.json and install it as DIR/BENCH_<bench>.json."""
+    os.makedirs(directory, exist_ok=True)
+    for path in paths:
+        bench, records = load(path)
+        if not records:
+            sys.exit(f"{path}: refusing to install an empty baseline")
+        with open(path) as f:
+            data = json.load(f)
+        dest = os.path.join(directory, f"BENCH_{bench}.json")
+        with open(dest, "w") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
+        gated = sum(1 for (_, m, _) in records if direction(m) != 0)
+        print(f"bench_compare: wrote {dest} "
+              f"({len(records)} records, {gated} gated)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("files", nargs="+",
+                        help="BASELINE.json CURRENT.json, or with "
+                             "--write-baseline one or more CURRENT.json")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative regression tolerance (default 0.10)")
+    parser.add_argument("--write-baseline", metavar="DIR",
+                        help="install the given BENCH_*.json file(s) into DIR "
+                             "as committed baselines instead of comparing")
     args = parser.parse_args()
 
-    base_bench, base = load(args.baseline)
-    cur_bench, cur = load(args.current)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, args.files)
+        return
+    if len(args.files) != 2:
+        parser.error("compare mode takes exactly BASELINE.json CURRENT.json")
+
+    base_bench, base = load(args.files[0])
+    cur_bench, cur = load(args.files[1])
     if base_bench != cur_bench:
         sys.exit(f"bench mismatch: baseline is '{base_bench}', "
                  f"current is '{cur_bench}'")

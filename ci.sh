@@ -23,18 +23,25 @@ run_tier1() {
 
 # Bench smoke: Release tree (the perf numbers people quote), smallest
 # cycle-enumeration configs (sequential, legacy, and a 2-thread parallel
-# run whose setup hard-asserts bit-identical cycles), hard-failing on
-# crash or malformed JSON so the perf benches and their machine-readable
-# output can't silently rot.
+# run whose setup hard-asserts bit-identical cycles) plus the ball-pruning
+# bench (whose setup hard-asserts pruned == unpruned cycle sets and a
+# >= 1.3x best speedup), hard-failing on crash or malformed JSON so the
+# perf benches and their machine-readable output can't silently rot.
+#
+# Set WQE_WRITE_BASELINE=1 to install this run's BENCH_*.json files into
+# bench/baselines/ instead of gating against them — only do this on a
+# quiet multi-core host (see bench/baselines/README.md), then commit.
 run_bench() {
   set -x
   cmake -B build-bench -S . -DWQE_WERROR=ON -DCMAKE_BUILD_TYPE=Release \
     -DWQE_BUILD_TESTS=OFF -DWQE_BUILD_EXAMPLES=OFF
-  cmake --build build-bench -j --target wqe_bench_perf_cycle_enumeration
+  cmake --build build-bench -j --target wqe_bench_perf_cycle_enumeration \
+    --target wqe_bench_perf_ball_pruning
   cd build-bench
   ./wqe_bench_perf_cycle_enumeration \
     --benchmark_filter='BM_CycleEnumerationBall(Legacy|Parallel/2)?/3/100$' \
     --benchmark_min_time=0.05
+  ./wqe_bench_perf_ball_pruning
   python3 - <<'EOF'
 import json
 with open('BENCH_perf_cycle_enumeration.json') as f:
@@ -53,13 +60,20 @@ print(f'bench smoke OK: {len(results)} records')
 EOF
   # Bench trajectory: the comparator always self-checks (a file must never
   # regress against itself), and gates against a committed baseline when
-  # one is present (drop a BENCH_*.json into bench/baselines/ to arm it).
-  python3 ../bench/bench_compare.py \
-    BENCH_perf_cycle_enumeration.json BENCH_perf_cycle_enumeration.json
-  if [ -f ../bench/baselines/BENCH_perf_cycle_enumeration.json ]; then
-    python3 ../bench/bench_compare.py \
-      ../bench/baselines/BENCH_perf_cycle_enumeration.json \
-      BENCH_perf_cycle_enumeration.json
+  # one is present (use `WQE_WRITE_BASELINE=1 ./ci.sh bench` — or
+  # `bench_compare.py --write-baseline` directly — to capture one).
+  if [ "${WQE_WRITE_BASELINE:-0}" = "1" ]; then
+    python3 ../bench/bench_compare.py --write-baseline ../bench/baselines \
+      BENCH_perf_cycle_enumeration.json BENCH_perf_ball_pruning.json
+  else
+    for bench_json in BENCH_perf_cycle_enumeration.json \
+                      BENCH_perf_ball_pruning.json; do
+      python3 ../bench/bench_compare.py "$bench_json" "$bench_json"
+      if [ -f "../bench/baselines/$bench_json" ]; then
+        python3 ../bench/bench_compare.py \
+          "../bench/baselines/$bench_json" "$bench_json"
+      fi
+    done
   fi
   cd ..
   set +x
@@ -70,17 +84,19 @@ EOF
 # so NDEBUG is off and the WQE_DCHECK contracts (registry freeze, nested
 # fan-out) are live — the main build's RelWithDebInfo compiles them out.
 # cycles_test rides along for the parallel-enumerator stress case
-# (chunk cursor, prefix budget, buffer handoff under TSan); obs_test for
-# the lock-free metrics instruments (multi-writer histogram stress) and
-# trace propagation across pool tasks.  (The asan lane below runs the
-# full ctest suite, so both already cover obs_test there.)
+# (chunk cursor, prefix budget, buffer handoff under TSan) and the
+# pruned-identity property suite at 4 threads; ball_prune_test because
+# the pruning kernel records into the shared global metrics registry;
+# obs_test for the lock-free metrics instruments (multi-writer histogram
+# stress) and trace propagation across pool tasks.  (The asan lane below
+# runs the full ctest suite, so both already cover obs_test there.)
 run_tsan() {
   set -x
   cmake -B build-tsan -S . -DWQE_TSAN=ON -DWQE_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Debug \
     -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
-  (cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test|obs_test')
+  (cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test|obs_test|ball_prune_test')
   set +x
 }
 

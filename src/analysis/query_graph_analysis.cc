@@ -29,6 +29,7 @@ QueryGraphAnalyzer::QueryGraphAnalyzer(const groundtruth::Pipeline* pipeline,
     options_.num_threads = pipeline_->num_threads();
   }
   if (options_.pool == nullptr) options_.pool = pipeline_->pool();
+  options_.prune_ball = options_.prune_ball && pipeline_->prune_ball();
 }
 
 Result<TopicAnalysis> QueryGraphAnalyzer::Analyze(size_t topic_index) const {
@@ -111,6 +112,7 @@ Result<TopicAnalysis> QueryGraphAnalyzer::AnalyzeImpl(
   cycle_options.seeds = qg.query_articles;
   cycle_options.num_threads = num_threads;
   cycle_options.pool = pool;
+  cycle_options.prune_ball = options_.prune_ball;
   graph::CycleEnumerator enumerator(view);
   std::vector<graph::Cycle> cycles = enumerator.Enumerate(cycle_options);
   std::vector<graph::CycleMetrics> metrics =

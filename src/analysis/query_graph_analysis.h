@@ -82,6 +82,10 @@ struct AnalyzerOptions {
   /// Pool to run on (borrowed); null inherits the pipeline's pool, and a
   /// transient pool is spawned when neither exists.
   serve::ThreadPool* pool = nullptr;
+  /// Ball-prune each topic's view before enumerating (graph/ball_prune.h;
+  /// output is bit-identical either way).  ANDed with the pipeline's own
+  /// knob: disabling at either layer disables.
+  bool prune_ball = true;
 };
 
 /// \brief Per-topic analyzer bound to a pipeline + ground truth.

@@ -67,6 +67,9 @@ Result<std::unique_ptr<Engine>> Engine::Build(wiki::KnowledgeBase kb,
       engine->options_.strategies.cycle.pool = engine->enum_pool_.get();
     }
   }
+  engine->options_.strategies.cycle.prune_ball =
+      engine->options_.strategies.cycle.prune_ball &&
+      engine->options_.prune_ball;
   engine->registry_ =
       ExpanderRegistry::WithBuiltins(engine->options_.strategies);
   if (!engine->registry_.Contains(engine->options_.default_expander)) {

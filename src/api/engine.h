@@ -59,6 +59,11 @@ struct EngineOptions {
   /// on server workers, where nested enumeration degrades to sequential
   /// (request-level parallelism already saturates the pool).
   uint32_t enumeration_threads = 1;
+  /// Ball-prune query neighborhoods before cycle enumeration
+  /// (graph/ball_prune.h; responses are bit-identical either way).
+  /// ANDed into the cycle strategy's `prune_ball` default at `Build` —
+  /// disabling here or in `strategies.cycle` disables.
+  bool prune_ball = true;
 };
 
 /// \brief One expansion request.

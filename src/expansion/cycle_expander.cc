@@ -66,6 +66,7 @@ Result<std::vector<NodeId>> CycleExpander::SelectFeatures(
   enum_options.max_cycles = options_.max_cycles;
   enum_options.num_threads = options_.num_threads;
   enum_options.pool = options_.pool;
+  enum_options.prune_ball = options_.prune_ball;
   graph::CycleEnumerator enumerator(view);
 
   // 3. Accumulate per-article, per-length quality-weighted cycle counts.

@@ -84,6 +84,12 @@ struct CycleExpanderOptions {
   /// when `EngineOptions::enumeration_threads != 1` so per-request calls
   /// never spawn transient pools.
   serve::ThreadPool* pool = nullptr;
+  /// Ball-prune the neighborhood before enumerating (graph/ball_prune.h).
+  /// Features are bit-identical either way — like `num_threads` this is
+  /// an execution knob, NOT an `ExpanderOverrides` field, so it never
+  /// splits serving-cache keys.  `api::Engine::Build` ANDs in
+  /// `EngineOptions::prune_ball`: disabling at either layer disables.
+  bool prune_ball = true;
 };
 
 /// \brief Dense-cycle expansion system.

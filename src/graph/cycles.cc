@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/mutex.h"
+#include "graph/ball_prune.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/thread_pool.h"
@@ -31,17 +32,26 @@ struct DfsContext {
   const UndirectedView* view;
   const CycleEnumerationOptions* options;
   const std::vector<bool>* is_seed;  ///< by local id (null = no filter)
+  /// Ball-pruning bitset by local id (graph/ball_prune.h); null when
+  /// pruning is off or removed nothing.  Dead nodes lie on no qualifying
+  /// cycle, so skipping them changes no emission and no emission order.
+  const uint64_t* alive = nullptr;
   std::function<bool(const std::vector<uint32_t>&)> sink;
   std::vector<bool> on_path;
   std::vector<uint32_t> path;
   bool aborted = false;
 
   void Init(const UndirectedView& v, const CycleEnumerationOptions& o,
-            const std::vector<bool>* seeds) {
+            const std::vector<bool>* seeds, const uint64_t* alive_bits) {
     view = &v;
     options = &o;
     is_seed = seeds;
+    alive = alive_bits;
     on_path.assign(v.num_nodes(), false);
+  }
+
+  bool Alive(uint32_t v) const {
+    return alive == nullptr || BallPruneAlive(alive, v);
   }
 
   bool PathTouchesSeed() const {
@@ -81,7 +91,7 @@ struct DfsContext {
     size_t first = std::upper_bound(neighbors.begin(), neighbors.end(), u) -
                    neighbors.begin();
     for (size_t i = first; i < neighbors.size() && !aborted; ++i) {
-      if (mults[i] >= 2) {
+      if (mults[i] >= 2 && Alive(neighbors[i])) {
         path = {u, neighbors[i]};
         Emit();
       }
@@ -122,7 +132,7 @@ struct DfsContext {
     if (path.size() >= options->max_length) return;
     for (auto it = suffix; it != neighbors.end(); ++it) {
       uint32_t v = *it;
-      if (on_path[v]) continue;
+      if (on_path[v] || !Alive(v)) continue;
       path.push_back(v);
       on_path[v] = true;
       Extend(start, v);
@@ -143,6 +153,19 @@ std::vector<bool> BuildSeedMask(const UndirectedView& view,
     if (local != UINT32_MAX) is_seed[local] = true;
   }
   return is_seed;
+}
+
+/// Runs ball pruning when the options ask for it; `bits` backs the
+/// returned pointer.  Null when pruning is off, the view is empty, or
+/// nothing was removed — the null fast path keeps fully-alive scans free
+/// of bitset loads.
+const uint64_t* MaybePrune(const UndirectedView& view,
+                           const CycleEnumerationOptions& options,
+                           std::vector<uint64_t>* bits) {
+  if (!options.prune_ball || view.num_nodes() == 0) return nullptr;
+  BallPruneStats stats =
+      PruneBall(view, options.seeds, options.max_length, bits);
+  return stats.pruned_any() ? bits->data() : nullptr;
 }
 
 /// One chunk's output.  Cycles are stored flattened (lengths + node data)
@@ -243,9 +266,12 @@ size_t CycleEnumerator::SequentialVisit(const CycleEnumerationOptions& options,
   const uint32_t n = view_->num_nodes();
   std::vector<bool> seed_mask;
   if (!options.seeds.empty()) seed_mask = BuildSeedMask(*view_, options);
+  std::vector<uint64_t> alive_bits;
+  const uint64_t* alive = MaybePrune(*view_, options, &alive_bits);
 
   DfsContext ctx;
-  ctx.Init(*view_, options, options.seeds.empty() ? nullptr : &seed_mask);
+  ctx.Init(*view_, options, options.seeds.empty() ? nullptr : &seed_mask,
+           alive);
   size_t emitted = 0;
   ctx.sink = [&](const std::vector<uint32_t>& path) {
     ++emitted;
@@ -254,10 +280,14 @@ size_t CycleEnumerator::SequentialVisit(const CycleEnumerationOptions& options,
   };
 
   if (options.min_length <= 2 && options.max_length >= 2) {
-    for (uint32_t u = 0; u < n && !ctx.aborted; ++u) ctx.Length2ForStart(u);
+    for (uint32_t u = 0; u < n && !ctx.aborted; ++u) {
+      if (ctx.Alive(u)) ctx.Length2ForStart(u);
+    }
   }
   if (options.max_length >= 3) {
-    for (uint32_t s = 0; s < n && !ctx.aborted; ++s) ctx.DfsForStart(s);
+    for (uint32_t s = 0; s < n && !ctx.aborted; ++s) {
+      if (ctx.Alive(s)) ctx.DfsForStart(s);
+    }
   }
   return emitted;
 }
@@ -279,6 +309,10 @@ size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
     seed_mask = BuildSeedMask(*view_, options);
     seeds = &seed_mask;
   }
+  // One shared prune for all workers (read-only after this point); runs
+  // after the sequential fallbacks above so it is never computed twice.
+  std::vector<uint64_t> alive_bits;
+  const uint64_t* alive = MaybePrune(*view_, options, &alive_bits);
   const bool want_len2 = options.min_length <= 2 && options.max_length >= 2;
   const bool want_dfs = options.max_length >= 3;
 
@@ -288,7 +322,7 @@ size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
 
   auto worker = [&] {
     DfsContext ctx;
-    ctx.Init(*view_, options, seeds);
+    ctx.Init(*view_, options, seeds, alive);
     for (;;) {
       const size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks.size()) return;
@@ -302,7 +336,7 @@ size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
                                 &out.len2_nodes);
           };
           for (uint32_t u = begin; u < end && !ctx.aborted; ++u) {
-            ctx.Length2ForStart(u);
+            if (ctx.Alive(u)) ctx.Length2ForStart(u);
           }
         }
         if (want_dfs) {
@@ -313,7 +347,7 @@ size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
           };
           for (uint32_t s = begin; s < end && !ctx.aborted; ++s) {
             if (budget.Exhausted(options.max_cycles)) break;
-            ctx.DfsForStart(s);
+            if (ctx.Alive(s)) ctx.DfsForStart(s);
           }
         }
       }

@@ -72,6 +72,15 @@ struct CycleEnumerationOptions {
   /// extra-edge density 0, so the dense cycles the paper favors are
   /// exactly the chorded ones).  Length-2 cycles are trivially chordless.
   bool chordless_only = false;
+  /// Prune the view to nodes that can lie on a qualifying cycle before
+  /// enumerating (see graph/ball_prune.h: degree peeling + distance-to-
+  /// seed filtering over a bitset).  The surviving subgraph is a superset
+  /// of every qualifying cycle, so output — cycle set, order, truncation,
+  /// visitor-abort prefix — is bit-identical either way; the knob only
+  /// removes wasted DFS work.  Like `num_threads` below, this is an
+  /// execution knob and deliberately NOT an `ExpanderOverrides` field:
+  /// it must never split serving-cache keys.
+  bool prune_ball = true;
 
   /// \name Parallel execution
   /// Output is bit-identical to sequential enumeration regardless of

@@ -60,6 +60,7 @@ Result<std::unique_ptr<Pipeline>> Pipeline::Build(
   if (p->num_threads_ > 1) {
     p->pool_ = std::make_unique<serve::ThreadPool>(p->num_threads_ - 1);
   }
+  p->prune_ball_ = options.prune_ball;
 
   WQE_LOG(Info) << "pipeline: " << p->wiki_.kb.num_articles() << " articles, "
                 << p->track_.documents.size() << " documents, "

@@ -45,6 +45,11 @@ struct PipelineOptions {
   /// `analysis::QueryGraphAnalyzer` inherits — one pool per experiment
   /// instead of one per call.
   uint32_t num_threads = 1;
+  /// Ball-prune topic views before cycle enumeration (graph/ball_prune.h;
+  /// analysis output is bit-identical either way).  Inherited by
+  /// `analysis::QueryGraphAnalyzer` with AND semantics — disabling at
+  /// either layer disables.
+  bool prune_ball = true;
 };
 
 /// \brief Built experiment context (immutable after Build).
@@ -81,6 +86,10 @@ class Pipeline {
   /// \brief The experiment-shared analysis pool; null when sequential.
   serve::ThreadPool* pool() const { return pool_.get(); }
 
+  /// \brief Whether analysis consumers should ball-prune before
+  /// enumeration (see PipelineOptions::prune_ball).
+  bool prune_ball() const { return prune_ball_; }
+
  private:
   Pipeline() = default;
 
@@ -90,6 +99,7 @@ class Pipeline {
   std::unique_ptr<linking::EntityLinker> linker_;
   std::vector<ir::RelevantSet> relevant_;
   uint32_t num_threads_ = 1;
+  bool prune_ball_ = true;
   std::unique_ptr<serve::ThreadPool> pool_;  ///< null when num_threads_ == 1
 };
 

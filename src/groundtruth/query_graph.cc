@@ -41,7 +41,7 @@ QueryGraph BuildQueryGraph(const wiki::KnowledgeBase& kb,
     qg.expansion_articles.push_back(a);
   }
 
-  qg.sub = graph::Induce(kb.graph(), nodes);
+  qg.sub = graph::InduceCsr(kb.csr(), nodes);
   return qg;
 }
 

@@ -19,8 +19,10 @@ using graph::NodeId;
 
 /// \brief One assembled query graph.
 struct QueryGraph {
-  /// Induced subgraph (local node ids) + mapping to KB node ids.
-  graph::InducedSubgraph sub;
+  /// Label-free CSR-native induced subgraph (local node ids) + mapping to
+  /// KB node ids (`sub.to_parent`).  Structure only — analysis reads
+  /// labels through the KB when it needs them.
+  graph::CsrSubgraph sub;
   /// KB ids of the query articles L(q.k) included in the graph.
   std::vector<NodeId> query_articles;
   /// KB ids of the expansion articles A'.
@@ -29,10 +31,11 @@ struct QueryGraph {
   /// \brief Local ids of the query articles (seeds for cycle search).
   std::vector<NodeId> LocalQueryArticles() const;
 
-  size_t num_nodes() const { return sub.graph.num_nodes(); }
+  size_t num_nodes() const { return sub.num_nodes(); }
 };
 
-/// \brief Builds G(q) from the knowledge base.
+/// \brief Builds G(q) from the knowledge base, which must be frozen (the
+/// subgraph slices the `kb.csr()` snapshot).
 ///
 /// Redirects among the inputs are resolved to their main articles (both
 /// are included, mirroring the paper's construction); categories of every

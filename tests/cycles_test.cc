@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "graph/ball_prune.h"
 #include "graph/cycle_metrics.h"
 #include "graph/csr.h"
 #include "graph/cycles.h"
@@ -451,6 +452,125 @@ TEST_P(ParallelDeterminismProperty, InducedSubsetViewsMatchToo) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismProperty,
+                         ::testing::Values(7, 19, 42, 1234, 90210));
+
+// ---- Ball pruning: pruned enumeration must be bit-identical to unpruned
+// (cycle set, order, truncation, visitor-abort prefix) — see
+// graph/ball_prune.h for why the surviving subgraph is a cycle superset.
+
+/// SkewedSchemaGraph decorated with peelable pendant chains off every
+/// fourth node: structure the pruning pass genuinely removes, so these
+/// properties don't vacuously pass on an all-alive graph.
+PropertyGraph SkewedGraphWithPendants(uint64_t seed, uint32_t num_articles,
+                                      uint32_t num_categories,
+                                      uint32_t num_edges) {
+  PropertyGraph g = SkewedSchemaGraph(seed, num_articles, num_categories,
+                                      num_edges);
+  const uint32_t core = g.num_nodes();
+  for (uint32_t anchor = 0; anchor < core; anchor += 4) {
+    NodeId prev = anchor;
+    for (int hop = 0; hop < 3; ++hop) {
+      NodeId leaf = g.AddNode(NodeKind::kArticle,
+                              "p" + std::to_string(anchor) + "_" +
+                                  std::to_string(hop));
+      if (g.IsArticle(prev)) {
+        EXPECT_TRUE(g.AddEdge(prev, leaf, EdgeKind::kLink).ok());
+      } else {
+        EXPECT_TRUE(g.AddEdge(leaf, prev, EdgeKind::kBelongs).ok());
+      }
+      prev = leaf;
+    }
+  }
+  return g;
+}
+
+class PrunedIdentityProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrunedIdentityProperty, PrunedMatchesUnprunedEverywhere) {
+  PropertyGraph g = SkewedGraphWithPendants(GetParam(), 26, 9, 260);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
+  CycleEnumerator e(view);
+
+  // The decoration must actually be prunable — otherwise the identity
+  // below proves nothing.
+  std::vector<uint64_t> alive;
+  ASSERT_TRUE(PruneBall(view, {}, 5, &alive).pruned_any());
+
+  std::vector<CycleEnumerationOptions> configs;
+  for (uint32_t min_len : {2u, 3u, 4u}) {
+    for (uint32_t max_len : {2u, 3u, 5u}) {
+      if (max_len < min_len) continue;
+      for (bool chordless : {false, true}) {
+        for (size_t cap : {size_t{0}, size_t{1}, size_t{5}, size_t{17}}) {
+          CycleEnumerationOptions c;
+          c.min_length = min_len;
+          c.max_length = max_len;
+          c.chordless_only = chordless;
+          c.max_cycles = cap;
+          configs.push_back(c);
+          CycleEnumerationOptions seeded = c;
+          seeded.seeds = {0, 5, 11};
+          configs.push_back(seeded);
+        }
+      }
+    }
+  }
+
+  for (const CycleEnumerationOptions& config : configs) {
+    CycleEnumerationOptions unpruned = config;
+    unpruned.prune_ball = false;
+    std::vector<std::vector<NodeId>> want = CycleNodes(e.Enumerate(unpruned));
+
+    CycleEnumerationOptions pruned = config;
+    pruned.prune_ball = true;
+    EXPECT_EQ(want, CycleNodes(e.Enumerate(pruned)))
+        << "sequential lengths=" << config.min_length << ".."
+        << config.max_length << " chordless=" << config.chordless_only
+        << " cap=" << config.max_cycles << " seeds=" << config.seeds.size();
+
+    // 4-thread parallel with adversarial size-1 chunks, pruned, against
+    // the unpruned sequential reference: covers the alive-bitset fast
+    // path through the worker loops and the deterministic merge at once.
+    CycleEnumerationOptions parallel = pruned;
+    parallel.num_threads = 4;
+    parallel.parallel_chunk_starts = 1;
+    EXPECT_EQ(want, CycleNodes(e.Enumerate(parallel)))
+        << "parallel lengths=" << config.min_length << ".."
+        << config.max_length << " chordless=" << config.chordless_only
+        << " cap=" << config.max_cycles << " seeds=" << config.seeds.size();
+  }
+}
+
+TEST_P(PrunedIdentityProperty, AbortPrefixMatchesUnpruned) {
+  PropertyGraph g = SkewedGraphWithPendants(GetParam(), 24, 8, 240);
+  CsrGraph csr = CsrGraph::Freeze(g);
+  UndirectedView view(csr);
+  CycleEnumerator e(view);
+
+  // An aborting visitor must see the exact same prefix with pruning on,
+  // sequential and parallel.
+  auto prefix_of = [&](bool prune, uint32_t threads, size_t abort_after) {
+    CycleEnumerationOptions options;
+    options.prune_ball = prune;
+    options.num_threads = threads;
+    options.parallel_chunk_starts = threads > 1 ? 1 : 0;
+    std::vector<std::vector<uint32_t>> seen;
+    e.Visit(options, [&](const std::vector<uint32_t>& cycle) {
+      seen.push_back(cycle);
+      return seen.size() < abort_after;
+    });
+    return seen;
+  };
+  for (size_t abort_after : {size_t{1}, size_t{4}, size_t{9}}) {
+    std::vector<std::vector<uint32_t>> want =
+        prefix_of(false, 1, abort_after);
+    EXPECT_EQ(want, prefix_of(true, 1, abort_after));
+    EXPECT_EQ(want, prefix_of(true, 4, abort_after));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunedIdentityProperty,
                          ::testing::Values(7, 19, 42, 1234, 90210));
 
 TEST(ParallelCycleTest, VisitorAbortPrefixMatchesSequential) {

@@ -150,6 +150,7 @@ TEST(QueryGraphTest, RedirectInputIncludesMainArticle) {
   auto cat = *kb.AddCategory("cat");
   ASSERT_TRUE(kb.AddBelongs(main, cat).ok());
   auto alias = *kb.AddRedirect("alias", main);
+  kb.Freeze();  // BuildQueryGraph slices the frozen snapshot
   QueryGraph qg = BuildQueryGraph(kb, {alias}, {});
   // alias, main, and main's category are all present.
   EXPECT_EQ(qg.num_nodes(), 3u);
@@ -162,15 +163,27 @@ TEST(QueryGraphTest, InducedEdgesOnlyAmongMembers) {
   const Pipeline& p = SmallPipeline();
   auto query = p.linker().LinkToArticles(p.topic(1).keywords);
   QueryGraph qg = BuildQueryGraph(p.kb(), query, p.topic(1).planted_good);
-  // Spot-check: every edge in the subgraph exists in the KB between the
-  // mapped endpoints.
-  const auto& sub = qg.sub.graph;
+  // Spot-check both directions of the slice invariant: every subgraph
+  // edge exists in the KB between the mapped endpoints, and every KB edge
+  // between two members made it into the subgraph.
+  const graph::CsrSubgraph& sub = qg.sub;
+  size_t sub_edges = 0;
   for (graph::NodeId n = 0; n < sub.num_nodes(); ++n) {
-    for (const graph::Edge& e : sub.OutEdges(n)) {
-      EXPECT_TRUE(p.kb().graph().HasEdge(qg.sub.to_parent[n],
-                                         qg.sub.to_parent[e.dst], e.kind));
+    auto targets = sub.OutTargets(n);
+    auto kinds = sub.OutKinds(n);
+    for (size_t i = 0; i < targets.size(); ++i, ++sub_edges) {
+      EXPECT_TRUE(p.kb().graph().HasEdge(sub.to_parent[n],
+                                         sub.to_parent[targets[i]], kinds[i]));
     }
   }
+  size_t kb_member_edges = 0;
+  for (graph::NodeId parent : sub.to_parent) {
+    for (graph::NodeId dst : p.kb().csr().OutTargets(parent)) {
+      if (sub.Local(dst) != graph::kInvalidNode) ++kb_member_edges;
+    }
+  }
+  EXPECT_EQ(sub_edges, kb_member_edges);
+  EXPECT_EQ(sub_edges, sub.num_edges());
 }
 
 // ------------------------------------------------------------- GroundTruth
