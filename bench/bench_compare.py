@@ -53,6 +53,11 @@ def direction(metric):
         # informational until a latency baseline is committed: single-run
         # tail percentiles on a shared machine are too noisy to gate on.
         return 0
+    if metric in ("shed_rate", "hit_ratio"):
+        # Rate/ratio policy outcomes (admission shedding, cache hits) are
+        # informational: they describe behavior under a synthetic load,
+        # not a performance axis a baseline delta should gate on.
+        return 0
     if metric.startswith("real_time_") or metric.endswith(("_ms", "_us", "_ns")):
         return -1
     if metric.startswith("speedup"):

@@ -6,6 +6,7 @@
 #   ./ci.sh bench   — Release bench smoke + BENCH_*.json schema/trajectory
 #   ./ci.sh tsan    — ThreadSanitizer over the concurrency suites
 #   ./ci.sh asan    — ASan+UBSan (non-recoverable) over the full ctest suite
+#   ./ci.sh faults  — fault-injection chaos suite, Debug then TSan
 #   ./ci.sh tidy    — clang-tidy gate over src/ (skips if not installed)
 #   ./ci.sh all     — every lane above, in that order (the default)
 #
@@ -96,7 +97,28 @@ run_tsan() {
     -DCMAKE_BUILD_TYPE=Debug \
     -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
-  (cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test|obs_test|ball_prune_test')
+  (cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test|obs_test|ball_prune_test|chaos_test')
+  set +x
+}
+
+# Fault-injection chaos lane: the seeded fault schedules in chaos_test
+# drive randomized failures, delays, deadlines and cancellation through
+# the serving stack, asserting no deadlock, fail-atomic batches, and
+# bit-identical survivors.  Runs in Debug (WQE_DCHECK contracts live)
+# and then again under ThreadSanitizer — injected delays shift thread
+# interleavings, which is precisely when races surface.
+run_faults() {
+  set -x
+  cmake -B build-faults -S . -DWQE_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
+  cmake --build build-faults -j --target wqe_chaos_test
+  (cd build-faults && ctest --output-on-failure -R 'chaos_test')
+  cmake -B build-tsan -S . -DWQE_TSAN=ON -DWQE_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j --target wqe_chaos_test
+  (cd build-tsan && ctest --output-on-failure -R 'chaos_test')
   set +x
 }
 
@@ -139,16 +161,18 @@ case "$lane" in
   bench) run_bench ;;
   tsan)  run_tsan ;;
   asan)  run_asan ;;
+  faults) run_faults ;;
   tidy)  run_tidy ;;
   all)
     run_tier1
     run_bench
     run_tsan
     run_asan
+    run_faults
     run_tidy
     ;;
   *)
-    echo "usage: $0 [tier1|bench|tsan|asan|tidy|all]" >&2
+    echo "usage: $0 [tier1|bench|tsan|asan|faults|tidy|all]" >&2
     exit 2
     ;;
 esac

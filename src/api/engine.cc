@@ -19,6 +19,20 @@ std::string ConfigKey(std::string_view resolved_name,
   return std::string(resolved_name) + overrides.ToKey();
 }
 
+/// The execution context a request should run under: its own budget
+/// (deadline computed now, cancel token as given) merged with whatever
+/// ambient context the caller already installed — the tighter deadline
+/// wins, so a serve-layer default cannot be loosened per request.
+common::ExecContext RequestExecContext(double deadline_ms,
+                                       const common::CancelToken& cancel) {
+  common::ExecContext request;
+  if (deadline_ms > 0.0) {
+    request.deadline = common::Deadline::AfterMillis(deadline_ms);
+  }
+  request.cancel = cancel;
+  return common::ExecContext::Merge(common::CurrentExecContext(), request);
+}
+
 /// Stage latency histograms, shared by every engine (per-stage timing is
 /// a process-level view; the per-instance split lives in the counters).
 obs::Histogram* ExpandHistogram() {
@@ -212,6 +226,8 @@ Result<QueryResponse> Engine::QueryWithExpansion(ExpandResponse expansion,
 }
 
 Result<ExpandResponse> Engine::Expand(const ExpandRequest& request) const {
+  common::ScopedExecContext exec_scope(
+      RequestExecContext(request.deadline_ms, request.cancel));
   std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
   WQE_ASSIGN_OR_RETURN(
       ResolvedExpander resolved,
@@ -220,6 +236,8 @@ Result<ExpandResponse> Engine::Expand(const ExpandRequest& request) const {
 }
 
 Result<QueryResponse> Engine::Query(const QueryRequest& request) const {
+  common::ScopedExecContext exec_scope(
+      RequestExecContext(request.deadline_ms, request.cancel));
   std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
   WQE_ASSIGN_OR_RETURN(
       ResolvedExpander resolved,
@@ -234,6 +252,11 @@ Result<std::vector<ExpandResponse>> Engine::ExpandBatch(
   std::vector<ExpandResponse> responses;
   responses.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
+    // Budgets are per request: each iteration installs (and on exit
+    // removes) its own request's context, so one expired deadline never
+    // bleeds into its batch neighbors.
+    common::ScopedExecContext exec_scope(
+        RequestExecContext(requests[i].deadline_ms, requests[i].cancel));
     auto resolved =
         ResolveExpander(requests[i].expander, requests[i].overrides, &cache);
     if (!resolved.ok()) {
@@ -258,6 +281,8 @@ Result<std::vector<QueryResponse>> Engine::QueryBatch(
   std::vector<QueryResponse> responses;
   responses.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
+    common::ScopedExecContext exec_scope(
+        RequestExecContext(requests[i].deadline_ms, requests[i].cancel));
     auto resolved =
         ResolveExpander(requests[i].expander, requests[i].overrides, &cache);
     if (!resolved.ok()) {

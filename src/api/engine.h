@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "api/expander_registry.h"
+#include "common/deadline.h"
 #include "common/result.h"
 #include "ir/search_engine.h"
 #include "linking/entity_linker.h"
@@ -73,6 +74,17 @@ struct ExpandRequest {
   /// default strategy.
   std::string expander;
   ExpanderOverrides overrides;
+  /// Request budget in milliseconds; 0 (the default) means no deadline.
+  /// Execution knobs like this are deliberately *not* `ExpanderOverrides`
+  /// fields: they must never split serving-cache keys (the result is the
+  /// same work, just bounded).  Combined with any ambient deadline — the
+  /// tighter one wins.  Expired budgets surface as
+  /// `Status::DeadlineExceeded`.
+  double deadline_ms = 0.0;
+  /// Optional cooperative-cancellation token (`common::CancelSource` is
+  /// kept by the caller).  Null by default.  Cancellation surfaces as
+  /// `Status::Cancelled`.
+  common::CancelToken cancel;
 };
 
 /// \brief One end-to-end query request (expand + retrieve).
@@ -81,6 +93,8 @@ struct QueryRequest {
   std::string expander;  ///< as in ExpandRequest
   ExpanderOverrides overrides;
   size_t top_k = 0;  ///< 0 → EngineOptions::default_top_k
+  double deadline_ms = 0.0;     ///< as in ExpandRequest
+  common::CancelToken cancel;   ///< as in ExpandRequest
 };
 
 /// \brief Expansion outcome.

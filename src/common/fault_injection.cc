@@ -1,0 +1,119 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace wqe::common {
+
+namespace {
+
+/// FNV-1a over the site name: stable across runs and platforms, so a
+/// plan's schedule does not depend on pointer values or hash seeding.
+uint64_t HashSiteName(const char* site) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: avalanche the combined (seed, site, draw) word.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Configure(uint64_t seed,
+                              std::map<std::string, FaultSpec> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  plan_.clear();
+  for (auto& entry : plan) {
+    plan_[entry.first] = SiteState{entry.second, /*draws=*/0};
+  }
+  injected_failures_ = 0;
+  injected_delays_ = 0;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_release);
+  plan_.clear();
+}
+
+double FaultInjector::Uniform(uint64_t seed, uint64_t site_hash,
+                              uint64_t draw) {
+  const uint64_t word = Mix(seed ^ Mix(site_hash ^ Mix(draw)));
+  // Top 53 bits -> double in [0, 1).
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+Status FaultInjector::Decide(const char* site, bool can_fail,
+                             double* delay_ms) {
+  *delay_ms = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return Status::OK();
+  auto it = plan_.find(site);
+  if (it == plan_.end()) return Status::OK();
+  SiteState& state = it->second;
+  const uint64_t site_hash = HashSiteName(site);
+  // Failure and delay decisions consume independent draws so enabling
+  // one never perturbs the other's schedule.
+  const double fail_draw = Uniform(seed_, site_hash, state.draws++);
+  const double delay_draw = Uniform(seed_, site_hash, state.draws++);
+  if (state.spec.delay_probability > 0.0 &&
+      delay_draw < state.spec.delay_probability) {
+    *delay_ms = state.spec.delay_ms;
+    ++injected_delays_;
+  }
+  if (can_fail && state.spec.fail_probability > 0.0 &&
+      fail_draw < state.spec.fail_probability) {
+    ++injected_failures_;
+    return Status(state.spec.fail_code,
+                  std::string("injected fault at ") + site);
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::Evaluate(const char* site) {
+  double delay_ms = 0.0;
+  Status status = Decide(site, /*can_fail=*/true, &delay_ms);
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return status;
+}
+
+void FaultInjector::MaybeDelay(const char* site) {
+  double delay_ms = 0.0;
+  Decide(site, /*can_fail=*/false, &delay_ms);
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+}
+
+uint64_t FaultInjector::injected_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_failures_;
+}
+
+uint64_t FaultInjector::injected_delays() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_delays_;
+}
+
+}  // namespace wqe::common

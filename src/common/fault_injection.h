@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file fault_injection.h
+/// \brief Deterministic, seeded fault injection for chaos testing.
+///
+/// Production code marks interesting failure surfaces with named sites:
+///
+///     WQE_FAULT_POINT("serve.cache_lookup");   // may return a Status
+///     WQE_FAULT_DELAY("serve.pool_dispatch");  // may sleep, never fails
+///
+/// With the injector disabled (the default, and the only state outside
+/// tests) a site costs a single relaxed atomic load — no lock, no map
+/// lookup, no clock.  Tests enable it with a seed and a per-site
+/// `FaultSpec` plan; every injection decision is a pure function of
+/// (seed, site name, per-site draw counter), so a given schedule is
+/// reproducible run-to-run regardless of wall-clock time or thread
+/// identity.  (Thread interleaving still decides which *request* hits
+/// the Nth draw at a site — chaos tests assert invariants, not exact
+/// schedules.)
+///
+/// The catalog of sites in the tree is documented in README
+/// "Robustness".
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace wqe::common {
+
+/// \brief What may be injected at one site.
+struct FaultSpec {
+  /// Probability in [0, 1] that a draw at this site fails with
+  /// `fail_code`.  Only consulted by `WQE_FAULT_POINT` sites.
+  double fail_probability = 0.0;
+  StatusCode fail_code = StatusCode::kInternal;
+  /// Probability in [0, 1] that a draw at this site sleeps `delay_ms`
+  /// before continuing.  Consulted by both site kinds; delay draws are
+  /// independent of failure draws.
+  double delay_probability = 0.0;
+  double delay_ms = 0.0;
+};
+
+/// \brief Process-wide registry of fault sites and the active plan.
+///
+/// Thread-safe: `enabled()` is wait-free; `Evaluate`/`MaybeDelay` take a
+/// mutex only while enabled (decision + counters under the lock, sleeps
+/// outside it, so a delayed thread never blocks other sites).
+class FaultInjector {
+ public:
+  /// \brief The process-wide injector every `WQE_FAULT_*` site consults.
+  static FaultInjector& Global();
+
+  /// \brief Installs `plan` keyed by site name and enables injection.
+  /// Replaces any previous plan and resets the draw counters, so two
+  /// `Configure(seed, plan)` calls bracket identical schedules.
+  void Configure(uint64_t seed, std::map<std::string, FaultSpec> plan);
+
+  /// \brief Disables injection and clears the plan.  Sites revert to
+  /// their single-load fast path.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// \brief One draw at a failure-capable site: returns the injected
+  /// Status (and/or sleeps) per the plan, OK when the site is unlisted
+  /// or the draw passes.
+  Status Evaluate(const char* site);
+
+  /// \brief One draw at a delay-only site.
+  void MaybeDelay(const char* site);
+
+  /// \brief Total failures injected since the last `Configure`.
+  uint64_t injected_failures() const;
+  /// \brief Total delays injected since the last `Configure`.
+  uint64_t injected_delays() const;
+
+ private:
+  struct SiteState {
+    FaultSpec spec;
+    uint64_t draws = 0;
+  };
+
+  /// Deterministic draw in [0, 1): splitmix64 over
+  /// (seed ^ site-name hash ^ draw index).
+  static double Uniform(uint64_t seed, uint64_t site_hash, uint64_t draw);
+
+  /// Returns the sleep to perform (0 = none) and, for `Evaluate`, the
+  /// injected status; shared decision path under `mu_`.
+  Status Decide(const char* site, bool can_fail, double* delay_ms);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  uint64_t seed_ WQE_GUARDED_BY(mu_) = 0;
+  std::map<std::string, SiteState> plan_ WQE_GUARDED_BY(mu_);
+  uint64_t injected_failures_ WQE_GUARDED_BY(mu_) = 0;
+  uint64_t injected_delays_ WQE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace wqe::common
+
+/// \brief Marks a failure surface inside a function returning `Status`
+/// or `Result<T>`: when the active plan injects a fault here, the
+/// enclosing function returns it.  Free when injection is disabled.
+#define WQE_FAULT_POINT(site)                                         \
+  do {                                                                \
+    if (::wqe::common::FaultInjector::Global().enabled()) {           \
+      ::wqe::Status wqe_injected =                                    \
+          ::wqe::common::FaultInjector::Global().Evaluate(site);      \
+      if (!wqe_injected.ok()) return wqe_injected;                    \
+    }                                                                 \
+  } while (0)
+
+/// \brief Marks a delay-only surface (e.g. dispatch paths that cannot
+/// fail): when the active plan injects a delay here, the calling thread
+/// sleeps.  Free when injection is disabled.
+#define WQE_FAULT_DELAY(site)                                         \
+  do {                                                                \
+    if (::wqe::common::FaultInjector::Global().enabled()) {           \
+      ::wqe::common::FaultInjector::Global().MaybeDelay(site);        \
+    }                                                                 \
+  } while (0)

@@ -28,6 +28,9 @@ enum class StatusCode : int8_t {
   kCapacityError = 7,
   kNotImplemented = 8,
   kInternal = 9,
+  kDeadlineExceeded = 10,
+  kCancelled = 11,
+  kResourceExhausted = 12,
 };
 
 /// \brief Human-readable name of a status code, e.g. "Invalid argument".
@@ -89,6 +92,18 @@ class Status {
   static Status Internal(Args&&... args) {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
   }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Cancelled(Args&&... args) {
+    return Make(StatusCode::kCancelled, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
+  }
   /// @}
 
   /// \brief True iff the operation succeeded.
@@ -107,6 +122,13 @@ class Status {
     return code_ == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   StatusCode code() const { return code_; }
 

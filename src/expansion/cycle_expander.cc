@@ -6,6 +6,9 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/deadline.h"
+#include "common/fault_injection.h"
+#include "common/macros.h"
 #include "graph/cycles.h"
 #include "graph/undirected_view.h"
 #include "obs/metrics.h"
@@ -44,6 +47,8 @@ Result<std::vector<NodeId>> CycleExpander::SelectFeatures(
     const std::vector<NodeId>& query_articles) const {
   // The engine freezes the KB at build time; every request slices the same
   // shared snapshot — no per-request adjacency re-materialization.
+  // A request that arrives already over budget does no work at all.
+  WQE_RETURN_NOT_OK(common::ExecStatus());
   const graph::CsrGraph& csr = kb().csr();
 
   // 1. Neighborhood ball + its undirected slice, timed as one stage (the
@@ -75,6 +80,7 @@ Result<std::vector<NodeId>> CycleExpander::SelectFeatures(
     std::array<uint32_t, 6> count{};
   };
   std::unordered_map<NodeId, PerLength> tallies;
+  WQE_FAULT_POINT("expansion.enumeration");
   enumerator.Visit(enum_options, [&](const std::vector<uint32_t>& local) {
     graph::Cycle cycle;
     cycle.nodes.reserve(local.size());
@@ -97,6 +103,10 @@ Result<std::vector<NodeId>> CycleExpander::SelectFeatures(
     }
     return true;
   });
+  // An enumeration truncated by a deadline/cancel interruption has seen
+  // only a prefix of the cycles; a ranking built from it must never be
+  // reported as success.  Surface the interruption as the request status.
+  WQE_RETURN_NOT_OK(common::ExecStatus());
 
   // 4. Score: decayed by length, damped by sqrt of the count so that one
   // rare tight structure outranks dozens of loose long cycles.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/deadline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -105,6 +106,12 @@ BallPruneStats PruneBall(const UndirectedView& view,
     std::vector<uint32_t> frontier;
     std::vector<uint32_t> next;
     for (;;) {
+      // Cooperative deadline/cancel check per BFS round: stopping early
+      // leaves `alive` a superset of the exact fixed point, which is
+      // still sound (pruning only ever removes provably cycle-free
+      // nodes) — the enumerator just does a little more work, and the
+      // request's own cooperative checks surface the interruption.
+      if (common::ExecInterrupted()) break;
       ++stats.rounds;
       std::fill(visited.begin(), visited.end(), 0);
       frontier.clear();

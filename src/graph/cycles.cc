@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "common/mutex.h"
 #include "graph/ball_prune.h"
 #include "obs/metrics.h"
@@ -12,6 +14,12 @@
 namespace wqe::graph {
 
 namespace {
+
+/// How many DFS extensions / start visits pass between cooperative
+/// deadline/cancel checks.  Large enough that the clock read is noise
+/// against the enumeration work, small enough that an expired deadline
+/// stops the run within a few microseconds of real work.
+constexpr int kExecCheckInterval = 256;
 
 /// Whole-enumeration latency (sequential or parallel), shared by every
 /// enumerator: this is the kernel the serve stack's `enumeration` span
@@ -40,6 +48,18 @@ struct DfsContext {
   std::vector<bool> on_path;
   std::vector<uint32_t> path;
   bool aborted = false;
+  /// Sticky: set once the ambient deadline fires or cancellation is
+  /// requested.  Distinct from `aborted` (which a visitor can also set)
+  /// so the parallel path can tell a truncated chunk from a capped one.
+  bool interrupted = false;
+  /// Whether the ambient ExecContext has anything to check; cached at
+  /// Init so the (overwhelmingly common) no-deadline path costs one
+  /// branch per check site.
+  bool exec_active = false;
+  /// Starts at 1 so the very first check consults the clock: a request
+  /// that is already over budget then deterministically emits nothing,
+  /// at any thread count.
+  int check_countdown = 1;
 
   void Init(const UndirectedView& v, const CycleEnumerationOptions& o,
             const std::vector<bool>* seeds, const uint64_t* alive_bits) {
@@ -48,6 +68,26 @@ struct DfsContext {
     is_seed = seeds;
     alive = alive_bits;
     on_path.assign(v.num_nodes(), false);
+    exec_active = common::CurrentExecContext().active();
+  }
+
+  /// Countdown-gated cooperative check: consults the clock / cancel flag
+  /// every `kExecCheckInterval` calls.  Sticky once interrupted.
+  bool CheckInterrupt() {
+    if (!exec_active) return false;
+    if (interrupted) return true;
+    if (--check_countdown > 0) return false;
+    check_countdown = kExecCheckInterval;
+    interrupted = common::ExecInterrupted();
+    return interrupted;
+  }
+
+  /// Immediate cooperative check (no countdown) for coarse boundaries —
+  /// chunk claims — where the check cost is already amortized.
+  bool CheckInterruptNow() {
+    if (!exec_active) return false;
+    if (!interrupted) interrupted = common::ExecInterrupted();
+    return interrupted;
   }
 
   bool Alive(uint32_t v) const {
@@ -118,6 +158,10 @@ struct DfsContext {
   /// entirely — the closure test is the whole visit.
   void Extend(uint32_t start, uint32_t u) {
     if (aborted) return;
+    if (CheckInterrupt()) {
+      aborted = true;
+      return;
+    }
     std::span<const uint32_t> neighbors = view->Neighbors(u);
     auto suffix = std::upper_bound(neighbors.begin(), neighbors.end(), start);
     // Close the cycle when we are back at the start with enough nodes.
@@ -177,6 +221,14 @@ struct ChunkBuffer {
   std::vector<uint32_t> len2_nodes;
   std::vector<uint32_t> dfs_lengths;
   std::vector<uint32_t> dfs_nodes;
+  /// Cleared when a deadline/cancel interruption truncated the stream:
+  /// the stored cycles are then a *prefix* of what the chunk would have
+  /// produced, and the merge must stop after replaying them so the
+  /// overall emission stays a prefix of the sequential order.  (Budget-
+  /// capped chunks keep these set — their tails are past the
+  /// `max_cycles` truncation point and unreachable in the merge.)
+  bool len2_complete = true;
+  bool dfs_complete = true;
 
   size_t num_len2() const { return len2_lengths.size(); }
 };
@@ -281,11 +333,13 @@ size_t CycleEnumerator::SequentialVisit(const CycleEnumerationOptions& options,
 
   if (options.min_length <= 2 && options.max_length >= 2) {
     for (uint32_t u = 0; u < n && !ctx.aborted; ++u) {
+      if (ctx.CheckInterrupt()) break;
       if (ctx.Alive(u)) ctx.Length2ForStart(u);
     }
   }
-  if (options.max_length >= 3) {
+  if (options.max_length >= 3 && !ctx.interrupted) {
     for (uint32_t s = 0; s < n && !ctx.aborted; ++s) {
+      if (ctx.CheckInterrupt()) break;
       if (ctx.Alive(s)) ctx.DfsForStart(s);
     }
   }
@@ -327,6 +381,16 @@ size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
       const size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks.size()) return;
       ChunkBuffer& out = buffers[c];
+      WQE_FAULT_DELAY("graph.enumeration_chunk");
+      // Coarse cooperative check per chunk claim: an interrupted worker
+      // keeps draining the cursor, marking each untouched chunk
+      // incomplete so the merge stops at the truncation point.
+      if (ctx.CheckInterruptNow()) {
+        out.len2_complete = false;
+        out.dfs_complete = false;
+        budget.MarkDone(c, buffers);
+        continue;
+      }
       if (!budget.Exhausted(options.max_cycles)) {
         const auto [begin, end] = chunks[c];
         if (want_len2) {
@@ -336,10 +400,17 @@ size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
                                 &out.len2_nodes);
           };
           for (uint32_t u = begin; u < end && !ctx.aborted; ++u) {
+            if (ctx.CheckInterrupt()) break;
             if (ctx.Alive(u)) ctx.Length2ForStart(u);
           }
+          if (ctx.interrupted) out.len2_complete = false;
         }
-        if (want_dfs) {
+        if (ctx.interrupted) {
+          // Whatever the DFS phase would have produced is lost to the
+          // interruption; the chunk's DFS stream is (possibly empty and)
+          // truncated.
+          out.dfs_complete = false;
+        } else if (want_dfs) {
           ctx.aborted = false;
           ctx.sink = [&](const std::vector<uint32_t>& path) {
             return AppendCapped(path, options.max_cycles, &out.dfs_lengths,
@@ -347,8 +418,10 @@ size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
           };
           for (uint32_t s = begin; s < end && !ctx.aborted; ++s) {
             if (budget.Exhausted(options.max_cycles)) break;
+            if (ctx.CheckInterrupt()) break;
             if (ctx.Alive(s)) ctx.DfsForStart(s);
           }
+          if (ctx.interrupted) out.dfs_complete = false;
         }
       }
       budget.MarkDone(c, buffers);
@@ -383,11 +456,17 @@ size_t CycleEnumerator::ParallelVisit(const CycleEnumerationOptions& options,
     }
     return true;
   };
+  // A chunk whose stream was truncated by a deadline/cancel interruption
+  // still holds a *prefix* of its sequential output; replaying it and
+  // then stopping keeps the overall emission a prefix of the sequential
+  // order (the abort-prefix identity guarantee).
   for (const ChunkBuffer& b : buffers) {
     if (!feed(b.len2_lengths, b.len2_nodes)) return emitted;
+    if (!b.len2_complete) return emitted;
   }
   for (const ChunkBuffer& b : buffers) {
     if (!feed(b.dfs_lengths, b.dfs_nodes)) return emitted;
+    if (!b.dfs_complete) return emitted;
   }
   return emitted;
 }

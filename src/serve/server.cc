@@ -1,12 +1,35 @@
 #include "serve/server.h"
 
+#include <chrono>
 #include <map>
 #include <string>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 
 namespace wqe::serve {
+
+namespace {
+
+/// Interruption outcomes (deadline/cancel) get their own obs stages; the
+/// per-stage error counters for expander-construction/expansion/search
+/// skip them so one failed request is attributed exactly once.
+bool IsInterruption(const Status& status) {
+  return status.IsDeadlineExceeded() || status.IsCancelled();
+}
+
+/// An already-failed future, for requests shed at admission: batch
+/// phase 3 and single-submit callers consume them exactly like pool
+/// results, so fail-atomic lowest-failing-index semantics are untouched.
+template <typename Response>
+std::future<Result<Response>> ReadyFuture(Status status) {
+  std::promise<Result<Response>> promise;
+  promise.set_value(Result<Response>(std::move(status)));
+  return promise.get_future();
+}
+
+}  // namespace
 
 Server::Server(const api::Engine& engine, ServerOptions options)
     : engine_(&engine),
@@ -30,6 +53,13 @@ Server::Server(const api::Engine& engine, ServerOptions options)
       stage_errors("expander-construction");
   instruments_.errors_expansion = stage_errors("expansion");
   instruments_.errors_search = stage_errors("search");
+  instruments_.errors_admission = stage_errors("admission");
+  instruments_.errors_deadline = stage_errors("deadline");
+  instruments_.errors_cancelled = stage_errors("cancelled");
+  instruments_.shed_total =
+      registry_->GetCounter("wqe.server.shed_total", labels);
+  instruments_.deadline_exceeded =
+      registry_->GetCounter("wqe.server.deadline_exceeded", labels);
   instruments_.request_latency =
       registry_->GetHistogram("wqe.server.request_latency_ms", labels);
   instruments_.cache_lookup =
@@ -57,6 +87,8 @@ ServerStats Server::stats() const {
   stats.requests = instruments_.requests->value();
   stats.batches = instruments_.batches->value();
   stats.requests_failed = instruments_.requests_failed->value();
+  stats.shed = instruments_.shed_total->value();
+  stats.deadline_exceeded = instruments_.deadline_exceeded->value();
   return stats;
 }
 
@@ -73,6 +105,65 @@ ServerSnapshot Server::StatsSnapshot() const {
   return snapshot;
 }
 
+common::ExecContext Server::RequestContext(
+    double deadline_ms, const common::CancelToken& cancel) const {
+  common::ExecContext request;
+  const double budget_ms =
+      deadline_ms > 0.0 ? deadline_ms : options_.default_deadline_ms;
+  if (budget_ms > 0.0) {
+    request.deadline = common::Deadline::AfterMillis(budget_ms);
+  }
+  request.cancel = cancel;
+  return common::ExecContext::Merge(common::CurrentExecContext(), request);
+}
+
+Status Server::AdmitRequest(const common::ExecContext& exec) {
+  Status shed = Status::OK();
+  const size_t depth = pool_.queue_depth();
+  if (options_.max_queue_depth != 0 && depth >= options_.max_queue_depth) {
+    shed = Status::ResourceExhausted("shed: queue depth ", depth,
+                                     " at max_queue_depth ",
+                                     options_.max_queue_depth);
+  } else if (!exec.deadline.is_infinite()) {
+    const double remaining_ms = exec.deadline.remaining_ms();
+    const double expected_wait_ms =
+        queue_wait_ewma_ms_.load(std::memory_order_relaxed);
+    if (remaining_ms <= 0.0) {
+      shed = Status::ResourceExhausted(
+          "shed: deadline already expired at admission");
+    } else if (expected_wait_ms >= remaining_ms) {
+      shed = Status::ResourceExhausted("shed: expected queue wait ",
+                                       expected_wait_ms,
+                                       "ms exceeds remaining budget ",
+                                       remaining_ms, "ms");
+    }
+  }
+  if (!shed.ok()) {
+    instruments_.shed_total->Inc();
+    instruments_.errors_admission->Inc();
+    instruments_.requests_failed->Inc();
+  }
+  return shed;
+}
+
+void Server::NoteQueueWait(double wait_ms) {
+  double old_ewma = queue_wait_ewma_ms_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = old_ewma == 0.0 ? wait_ms : 0.8 * old_ewma + 0.2 * wait_ms;
+  } while (!queue_wait_ewma_ms_.compare_exchange_weak(
+      old_ewma, next, std::memory_order_relaxed));
+}
+
+void Server::AttributeFailure(const Status& status) {
+  if (status.IsDeadlineExceeded()) {
+    instruments_.deadline_exceeded->Inc();
+    instruments_.errors_deadline->Inc();
+  } else if (status.IsCancelled()) {
+    instruments_.errors_cancelled->Inc();
+  }
+}
+
 Result<api::ExpandResponse> Server::ExpandResolved(
     const std::string& resolved, const std::string& keywords,
     const api::ExpanderOverrides& overrides, BatchExpanders* batch) {
@@ -82,6 +173,7 @@ Result<api::ExpandResponse> Server::ExpandResolved(
     std::shared_ptr<const api::ExpandResponse> hit;
     {
       obs::Span span("cache-lookup", instruments_.cache_lookup, registry_);
+      WQE_FAULT_POINT("serve.cache_lookup");
       hit = cache_->Get(key);
     }
     if (hit != nullptr) {
@@ -98,6 +190,7 @@ Result<api::ExpandResponse> Server::ExpandResolved(
   {
     obs::Span span("expander-construction", instruments_.expander_construction,
                    registry_);
+    WQE_FAULT_POINT("serve.expander_construction");
     if (batch != nullptr) {
       common::MutexLock lock(batch->mu);
       std::string config = resolved + overrides.ToKey();
@@ -127,9 +220,14 @@ Result<api::ExpandResponse> Server::ExpandResolved(
   Result<api::ExpandResponse> response =
       engine_->ExpandWith(*expander, resolved, keywords);
   if (!response.ok()) {
-    instruments_.errors_expansion->Inc();
+    if (!IsInterruption(response.status())) {
+      instruments_.errors_expansion->Inc();
+    }
     return response.status();
   }
+  // An OK response is always a *complete* expansion (the expander turns
+  // truncated enumerations into errors), so it is safe to cache even if
+  // the request itself is later demoted for finishing past its deadline.
   if (cache_ != nullptr) cache_->Put(key, *response);
   return response;
 }
@@ -149,25 +247,50 @@ Result<api::QueryResponse> Server::QueryOne(const api::QueryRequest& request) {
                      /*expander=*/nullptr));
   Result<api::QueryResponse> response =
       engine_->QueryWithExpansion(std::move(expansion), request.top_k);
-  if (!response.ok()) instruments_.errors_search->Inc();
+  if (!response.ok() && !IsInterruption(response.status())) {
+    instruments_.errors_search->Inc();
+  }
   return response;
 }
 
 template <typename Response, typename Work>
-Result<Response> Server::ServeRequest(Work&& work) {
+Result<Response> Server::ServeRequest(
+    const common::ExecContext& exec,
+    std::chrono::steady_clock::time_point submitted, Work&& work) {
+  NoteQueueWait(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - submitted)
+                    .count());
+  common::ScopedExecContext exec_scope(exec);
   obs::Span span("request", instruments_.request_latency, registry_);
   Result<Response> result = work();
-  if (!result.ok()) instruments_.requests_failed->Inc();
+  if (result.ok()) {
+    // Work that finished after its budget ran out is not a success: the
+    // caller has already given up, and honoring the deadline uniformly
+    // keeps outcomes deterministic for a given schedule.
+    Status interrupted = common::ExecStatus();
+    if (!interrupted.ok()) result = std::move(interrupted);
+  }
+  if (!result.ok()) {
+    instruments_.requests_failed->Inc();
+    AttributeFailure(result.status());
+  }
   return result;
 }
 
 std::future<Result<api::QueryResponse>> Server::Submit(
     api::QueryRequest request) {
   instruments_.requests->Inc();
-  auto future = pool_.Submit([this, request = std::move(request)]() {
-    return ServeRequest<api::QueryResponse>(
-        [&] { return QueryOne(request); });
-  });
+  const common::ExecContext exec =
+      RequestContext(request.deadline_ms, request.cancel);
+  if (Status admit = AdmitRequest(exec); !admit.ok()) {
+    return ReadyFuture<api::QueryResponse>(std::move(admit));
+  }
+  const auto submitted = std::chrono::steady_clock::now();
+  auto future =
+      pool_.Submit([this, exec, submitted, request = std::move(request)]() {
+        return ServeRequest<api::QueryResponse>(
+            exec, submitted, [&] { return QueryOne(request); });
+      });
   instruments_.queue_depth->Set(static_cast<double>(pool_.queue_depth()));
   return future;
 }
@@ -175,10 +298,17 @@ std::future<Result<api::QueryResponse>> Server::Submit(
 std::future<Result<api::ExpandResponse>> Server::SubmitExpand(
     api::ExpandRequest request) {
   instruments_.requests->Inc();
-  auto future = pool_.Submit([this, request = std::move(request)]() {
-    return ServeRequest<api::ExpandResponse>(
-        [&] { return ExpandOne(request); });
-  });
+  const common::ExecContext exec =
+      RequestContext(request.deadline_ms, request.cancel);
+  if (Status admit = AdmitRequest(exec); !admit.ok()) {
+    return ReadyFuture<api::ExpandResponse>(std::move(admit));
+  }
+  const auto submitted = std::chrono::steady_clock::now();
+  auto future =
+      pool_.Submit([this, exec, submitted, request = std::move(request)]() {
+        return ServeRequest<api::ExpandResponse>(
+            exec, submitted, [&] { return ExpandOne(request); });
+      });
   instruments_.queue_depth->Set(static_cast<double>(pool_.queue_depth()));
   return future;
 }
@@ -209,10 +339,21 @@ Result<std::vector<Response>> Server::RunBatch(
   std::vector<std::future<Result<Response>>> futures;
   futures.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    futures.push_back(
-        pool_.Submit([this, &run, &requests, &resolved, &expanders, i]() {
-          return ServeRequest<Response>(
-              [&] { return run(&expanders, resolved[i], requests[i]); });
+    // Admission is per batch item: a shed slot becomes an already-failed
+    // future, so phase 3's lowest-failing-index semantics cover shed,
+    // deadline and ordinary failures uniformly.
+    const common::ExecContext exec =
+        RequestContext(requests[i].deadline_ms, requests[i].cancel);
+    if (Status admit = AdmitRequest(exec); !admit.ok()) {
+      futures.push_back(ReadyFuture<Response>(std::move(admit)));
+      continue;
+    }
+    const auto submitted = std::chrono::steady_clock::now();
+    futures.push_back(pool_.Submit(
+        [this, &run, &requests, &resolved, &expanders, exec, submitted, i]() {
+          return ServeRequest<Response>(exec, submitted, [&] {
+            return run(&expanders, resolved[i], requests[i]);
+          });
         }));
   }
   instruments_.queue_depth->Set(static_cast<double>(pool_.queue_depth()));
@@ -248,7 +389,9 @@ Result<std::vector<api::QueryResponse>> Server::QueryBatch(
             ExpandResolved(name, request.keywords, request.overrides, batch));
         Result<api::QueryResponse> response =
             engine_->QueryWithExpansion(std::move(expansion), request.top_k);
-        if (!response.ok()) instruments_.errors_search->Inc();
+        if (!response.ok() && !IsInterruption(response.status())) {
+          instruments_.errors_search->Inc();
+        }
         return response;
       });
 }

@@ -45,6 +45,7 @@
 /// `pool()` accessor instead of spawning a second one.
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <future>
 #include <map>
@@ -53,6 +54,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "obs/metrics.h"
@@ -80,17 +82,38 @@ struct ServerOptions {
   /// globally (their spans still land in this server's trace log via the
   /// submitter's context).
   obs::MetricsRegistry* registry = nullptr;
+  /// Default per-request budget in milliseconds, applied to every
+  /// request that does not carry its own `deadline_ms`; 0 (the default)
+  /// means no deadline.  The deadline starts at submission (queue wait
+  /// spends budget) and is enforced cooperatively inside the kernels —
+  /// an over-budget request fails with `Status::DeadlineExceeded`, never
+  /// with a partial ranking.
+  double default_deadline_ms = 0.0;
+  /// Admission bound: new submissions are shed with
+  /// `Status::ResourceExhausted` when the pool queue already holds this
+  /// many tasks.  0 (the default) = unbounded.  Independently of this
+  /// bound, a request with a finite deadline is shed at admission when
+  /// the observed queue wait (EWMA of recent enqueue→start gaps) would
+  /// already consume its remaining budget — shedding at the door is
+  /// cheaper than timing out after queueing.
+  size_t max_queue_depth = 0;
 };
 
 /// \brief Snapshot of the server-side counters (the engine and cache keep
 /// their own).  Returned by value from `Server::stats()`; the live state
 /// is `obs::Counter` instruments (`wqe.server.*{server=N}`).
 struct ServerStats {
-  size_t requests = 0;  ///< singles + batched items accepted
+  size_t requests = 0;  ///< singles + batched items submitted (shed included)
   size_t batches = 0;   ///< QueryBatch/ExpandBatch calls
   /// Requests whose `Result` came back non-OK (any stage; the per-stage
   /// split is the `wqe.server.errors_total{stage=...}` counter series).
+  /// Includes shed and deadline-exceeded requests.
   size_t requests_failed = 0;
+  /// Requests refused at admission (`wqe.server.shed_total`).
+  size_t shed = 0;
+  /// Requests that failed with `Status::DeadlineExceeded` after being
+  /// admitted (`wqe.server.deadline_exceeded`).
+  size_t deadline_exceeded = 0;
 };
 
 /// \brief One coherent-enough view of a serving stack: server, engine and
@@ -207,17 +230,47 @@ class Server {
     obs::Counter* errors_expander_construction = nullptr;
     obs::Counter* errors_expansion = nullptr;
     obs::Counter* errors_search = nullptr;
+    obs::Counter* errors_admission = nullptr;
+    obs::Counter* errors_deadline = nullptr;
+    obs::Counter* errors_cancelled = nullptr;
+    obs::Counter* shed_total = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
     obs::Histogram* request_latency = nullptr;
     obs::Histogram* cache_lookup = nullptr;
     obs::Histogram* expander_construction = nullptr;
     obs::Gauge* queue_depth = nullptr;
   };
 
+  /// The execution context one request runs under: its own deadline (or
+  /// the server default) computed now, merged with any ambient context
+  /// on the submitting thread (the tighter deadline wins).
+  common::ExecContext RequestContext(double deadline_ms,
+                                     const common::CancelToken& cancel) const;
+
+  /// Admission decision for one request, made on the submitting thread
+  /// *before* any task is queued: OK to admit, `ResourceExhausted` (with
+  /// counters recorded) to shed.  See `ServerOptions::max_queue_depth`.
+  Status AdmitRequest(const common::ExecContext& exec);
+
+  /// Folds one observed enqueue→start gap into the queue-wait EWMA the
+  /// admission policy consults.
+  void NoteQueueWait(double wait_ms);
+
+  /// Attributes a failed request's status to its obs stage counters
+  /// (deadline/cancelled get their own stages and totals).
+  void AttributeFailure(const Status& status);
+
   /// Runs `work()` under a root `request` span (latency → the
-  /// `wqe.server.request_latency_ms` histogram), counting acceptance and
-  /// failure.  The shared tail of every per-request pool task.
+  /// `wqe.server.request_latency_ms` histogram), with `exec` installed
+  /// as the task's execution context, counting acceptance and failure.
+  /// The shared tail of every per-request pool task.  A result that
+  /// comes back OK after the budget ran out is demoted to the
+  /// interruption status: work finished past its deadline (or after a
+  /// cancel) must never be reported as success.
   template <typename Response, typename Work>
-  Result<Response> ServeRequest(Work&& work);
+  Result<Response> ServeRequest(const common::ExecContext& exec,
+                                std::chrono::steady_clock::time_point submitted,
+                                Work&& work);
 
   /// Shared batch skeleton: prepare shared expanders (caller thread), fan
   /// out `run` per request (pool), collect in order, surface the first
@@ -231,6 +284,9 @@ class Server {
   obs::MetricsRegistry* registry_;  ///< never null after construction
   Instruments instruments_;
   std::unique_ptr<ExpansionCache> cache_;  ///< null when disabled
+  /// EWMA (0.8 old / 0.2 new) of observed enqueue→start gaps in ms; the
+  /// admission policy's estimate of what a new request would wait.
+  std::atomic<double> queue_wait_ewma_ms_{0.0};
   ThreadPool pool_;
 };
 

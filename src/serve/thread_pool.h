@@ -50,7 +50,10 @@ class ThreadPool {
   /// here and re-installed for the task's duration, so spans opened
   /// inside the task parent under the submitting request; the
   /// enqueue→dequeue gap is recorded as a `queue-wait` span and into the
-  /// `wqe.serve.queue_wait_ms` histogram (see Enqueue).
+  /// `wqe.serve.queue_wait_ms` histogram (see Enqueue).  The submitter's
+  /// `common::ExecContext` (deadline + cancel token) is propagated the
+  /// same way, so cooperative checks inside the task see the budget of
+  /// the request that submitted it.
   template <typename F>
   auto Submit(F&& fn) WQE_EXCLUDES(mu_)
       -> std::future<std::invoke_result_t<std::decay_t<F>>> {

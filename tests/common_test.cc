@@ -1,14 +1,20 @@
 /// \file common_test.cc
 /// \brief Unit tests for the common substrate: Status/Result, RNG,
-/// string utilities, statistics, table printing, annotated mutexes.
+/// string utilities, statistics, table printing, annotated mutexes,
+/// deadlines/cancellation, and the deterministic fault injector.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/mutex.h"
 #include "common/result.h"
@@ -17,6 +23,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "serve/thread_pool.h"
 
 namespace wqe {
 namespace {
@@ -47,6 +54,17 @@ TEST(StatusTest, AllCodesRoundTripThroughToString) {
   EXPECT_TRUE(Status::CapacityError("x").IsCapacityError());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, LifecycleCodesToString) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "Deadline exceeded: late");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "Resource exhausted: full");
 }
 
 TEST(StatusTest, WithContextAppendsDetail) {
@@ -490,6 +508,198 @@ TEST(CondVarTest, NotifyAllReleasesEveryWaiter) {
   cv.NotifyAll();
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(woken, kWaiters);
+}
+
+// ---------------------------------------------- Deadline / cancellation
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  common::Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_ms()));
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(common::Deadline::AfterMillis(0.0).expired());
+  EXPECT_TRUE(common::Deadline::AfterMillis(-5.0).expired());
+}
+
+TEST(DeadlineTest, GenerousBudgetIsNotExpired) {
+  common::Deadline d = common::Deadline::AfterMillis(60'000.0);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, TightenPicksTheEarlier) {
+  common::Deadline infinite;
+  common::Deadline soon = common::Deadline::AfterMillis(1.0);
+  common::Deadline later = common::Deadline::AfterMillis(60'000.0);
+  EXPECT_FALSE(common::Deadline::Tighten(infinite, soon).is_infinite());
+  EXPECT_LT(common::Deadline::Tighten(soon, later).remaining_ms(), 1'000.0);
+  EXPECT_TRUE(common::Deadline::Tighten(infinite, infinite).is_infinite());
+}
+
+TEST(CancelTokenTest, DefaultTokenNeverCancels) {
+  common::CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, SourceCancelsItsTokens) {
+  common::CancelSource source;
+  common::CancelToken token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  source.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.cancel_requested());
+  // Tokens taken after the cancel observe it too.
+  EXPECT_TRUE(source.token().cancelled());
+}
+
+TEST(ExecContextTest, DefaultIsInactiveAndCheapChecksPass) {
+  EXPECT_FALSE(common::CurrentExecContext().active());
+  EXPECT_FALSE(common::ExecInterrupted());
+  EXPECT_TRUE(common::ExecStatus().ok());
+}
+
+TEST(ExecContextTest, ScopedInstallAndRestore) {
+  common::ExecContext ctx;
+  ctx.deadline = common::Deadline::AfterMillis(60'000.0);
+  {
+    common::ScopedExecContext scope(ctx);
+    EXPECT_TRUE(common::CurrentExecContext().active());
+    EXPECT_FALSE(common::ExecInterrupted());
+  }
+  EXPECT_FALSE(common::CurrentExecContext().active());
+}
+
+TEST(ExecContextTest, ExpiredDeadlineSurfacesAsDeadlineExceeded) {
+  common::ExecContext ctx;
+  ctx.deadline = common::Deadline::AfterMillis(0.0);
+  common::ScopedExecContext scope(ctx);
+  EXPECT_TRUE(common::ExecInterrupted());
+  EXPECT_TRUE(common::ExecStatus().IsDeadlineExceeded());
+}
+
+TEST(ExecContextTest, CancelSurfacesAsCancelledAndWinsOverDeadline) {
+  common::CancelSource source;
+  common::ExecContext ctx;
+  ctx.deadline = common::Deadline::AfterMillis(0.0);
+  ctx.cancel = source.token();
+  common::ScopedExecContext scope(ctx);
+  EXPECT_TRUE(common::ExecStatus().IsDeadlineExceeded());  // not cancelled yet
+  source.RequestCancel();
+  EXPECT_TRUE(common::ExecInterrupted());
+  EXPECT_TRUE(common::ExecStatus().IsCancelled());
+}
+
+TEST(ExecContextTest, MergePrefersTighterDeadlineAndRequestToken) {
+  common::CancelSource ambient_source;
+  common::CancelSource request_source;
+  common::ExecContext ambient;
+  ambient.deadline = common::Deadline::AfterMillis(0.0);  // tighter
+  ambient.cancel = ambient_source.token();
+  common::ExecContext request;
+  request.deadline = common::Deadline::AfterMillis(60'000.0);
+  request.cancel = request_source.token();
+  common::ExecContext merged = common::ExecContext::Merge(ambient, request);
+  EXPECT_TRUE(merged.deadline.expired());  // ambient's tighter deadline won
+  request_source.RequestCancel();
+  EXPECT_TRUE(merged.cancel.cancelled());  // request's token won
+  // With no request token, the ambient token is inherited.
+  common::ExecContext bare_request;
+  common::ExecContext inherited =
+      common::ExecContext::Merge(ambient, bare_request);
+  ambient_source.RequestCancel();
+  EXPECT_TRUE(inherited.cancel.cancelled());
+}
+
+TEST(ExecContextTest, PropagatesAcrossPoolSubmit) {
+  common::ExecContext ctx;
+  ctx.deadline = common::Deadline::AfterMillis(0.0);
+  common::ScopedExecContext scope(ctx);
+  serve::ThreadPool pool(1);
+  // The worker thread has no context of its own; Submit must carry the
+  // submitter's budget across the hop.
+  EXPECT_TRUE(
+      pool.Submit([] { return common::ExecStatus().IsDeadlineExceeded(); })
+          .get());
+}
+
+// ---------------------------------------------------- Fault injection
+
+TEST(FaultInjectorTest, DisabledInjectorIsTransparent) {
+  common::FaultInjector& injector = common::FaultInjector::Global();
+  injector.Disable();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_TRUE(injector.Evaluate("common_test.site").ok());
+  auto probed = []() -> Status {
+    WQE_FAULT_POINT("common_test.site");
+    return Status::OK();
+  };
+  EXPECT_TRUE(probed().ok());
+}
+
+TEST(FaultInjectorTest, CertainFailureInjectsConfiguredCode) {
+  common::FaultInjector& injector = common::FaultInjector::Global();
+  common::FaultSpec spec;
+  spec.fail_probability = 1.0;
+  spec.fail_code = StatusCode::kIOError;
+  injector.Configure(/*seed=*/7, {{"common_test.site", spec}});
+  auto probed = []() -> Status {
+    WQE_FAULT_POINT("common_test.site");
+    return Status::OK();
+  };
+  Status st = probed();
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.message().find("common_test.site"), std::string::npos);
+  EXPECT_EQ(injector.injected_failures(), 1u);
+  // Unlisted sites are unaffected even while enabled.
+  EXPECT_TRUE(injector.Evaluate("common_test.other_site").ok());
+  injector.Disable();
+  EXPECT_TRUE(probed().ok());
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  common::FaultInjector& injector = common::FaultInjector::Global();
+  common::FaultSpec spec;
+  spec.fail_probability = 0.4;
+  auto draw_schedule = [&](uint64_t seed) {
+    injector.Configure(seed, {{"common_test.sched", spec}});
+    std::vector<bool> outcomes;
+    outcomes.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(injector.Evaluate("common_test.sched").ok());
+    }
+    return outcomes;
+  };
+  std::vector<bool> first = draw_schedule(123);
+  std::vector<bool> second = draw_schedule(123);
+  std::vector<bool> other = draw_schedule(321);
+  injector.Disable();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, other);  // overwhelmingly likely across 64 draws
+  // A 0.4-probability site injects *some* failures and *some* passes.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST(FaultInjectorTest, DelayOnlySiteSleepsWithoutFailing) {
+  common::FaultInjector& injector = common::FaultInjector::Global();
+  common::FaultSpec spec;
+  spec.delay_probability = 1.0;
+  spec.delay_ms = 5.0;
+  injector.Configure(/*seed=*/1, {{"common_test.delay", spec}});
+  const auto start = std::chrono::steady_clock::now();
+  injector.MaybeDelay("common_test.delay");
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_GE(injector.injected_delays(), 1u);
+  EXPECT_GE(elapsed_ms, 4.0);  // sleep_for may round, allow slack down
+  injector.Disable();
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "api/testbed.h"
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "obs/metrics.h"
 #include "serve/expansion_cache.h"
 #include "serve/server.h"
@@ -660,6 +662,108 @@ TEST(ServerTest, FailedRequestsAreCountedByStage) {
       << prom;
   EXPECT_NE(prom.find("stage=\"expansion\"} 0"), std::string::npos) << prom;
   EXPECT_NE(prom.find("stage=\"search\"} 0"), std::string::npos) << prom;
+}
+
+TEST(ServerTest, MixedBatchAttributesShedAndDeadlineOutcomes) {
+  // One batch, three fates: #0 completes, #1 is shed at admission (its
+  // budget is already spent when it arrives), #2 is admitted but blows
+  // its deadline inside the worker (an injected cache-lookup stall eats
+  // the whole budget).  The batch stays fail-atomic — the lowest failing
+  // index (#1, the shed) names the error — and each outcome lands in its
+  // own stage counter exactly once.
+  const api::Testbed& bed = SmallBed();
+  obs::MetricsRegistry registry;
+  ServerOptions options;
+  options.registry = &registry;
+  options.num_threads = 1;
+  Server server(bed.engine(), options);
+
+  std::vector<api::QueryRequest> requests(3);
+  requests[0].keywords = bed.topic(0).keywords;
+  requests[1].keywords = bed.topic(1).keywords;
+  requests[1].deadline_ms = 1e-6;  // expired before AdmitRequest can look
+  requests[2].keywords = bed.topic(2).keywords;
+  requests[2].deadline_ms = 5.0;  // admitted, then stalled past budget
+
+  common::FaultSpec stall;
+  stall.delay_probability = 1.0;
+  stall.delay_ms = 25.0;  // > requests[2].deadline_ms, every lookup
+  common::FaultInjector::Global().Configure(
+      /*seed=*/3, {{"serve.cache_lookup", stall}});
+  auto batch = server.QueryBatch(requests);
+  common::FaultInjector::Global().Disable();
+
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsResourceExhausted()) << batch.status();
+  EXPECT_NE(batch.status().message().find("QueryBatch request #1"),
+            std::string::npos)
+      << batch.status();
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.requests_failed, 2u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  const std::string prom = registry.DumpPrometheus();
+  EXPECT_NE(prom.find("stage=\"admission\"} 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("stage=\"deadline\"} 1"), std::string::npos) << prom;
+  // The interrupted request must not double-count into the pipeline-stage
+  // series it happened to be inside when the budget ran out.
+  EXPECT_NE(prom.find("stage=\"expansion\"} 0"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("stage=\"search\"} 0"), std::string::npos) << prom;
+}
+
+TEST(ServerTest, QueueDepthBoundShedsWithResourceExhausted) {
+  const api::Testbed& bed = SmallBed();
+  obs::MetricsRegistry registry;
+  ServerOptions options;
+  options.registry = &registry;
+  options.num_threads = 1;
+  options.max_queue_depth = 1;
+  Server server(bed.engine(), options);
+
+  // Stall the lone worker so submissions pile up behind it, then keep
+  // submitting until the bound trips.  At most 1 + max_queue_depth
+  // requests can be in flight, so the third submission must shed.
+  common::FaultSpec stall;
+  stall.delay_probability = 1.0;
+  stall.delay_ms = 30.0;
+  common::FaultInjector::Global().Configure(
+      /*seed=*/11, {{"serve.pool_dispatch", stall}});
+  api::QueryRequest request;
+  request.keywords = bed.topic(0).keywords;
+  std::vector<std::future<Result<api::QueryResponse>>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(server.Submit(request));
+  size_t ok = 0, shed = 0;
+  for (auto& future : futures) {
+    Result<api::QueryResponse> result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
+      ++shed;
+    }
+  }
+  common::FaultInjector::Global().Disable();
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(server.stats().shed, shed);
+}
+
+TEST(ServerTest, CancelTokenFailsRequestAsCancelled) {
+  const api::Testbed& bed = SmallBed();
+  ServerOptions options;
+  options.num_threads = 1;
+  Server server(bed.engine(), options);
+
+  common::CancelSource source;
+  source.RequestCancel();  // cancelled before the worker ever runs
+  api::QueryRequest request;
+  request.keywords = bed.topic(0).keywords;
+  request.cancel = source.token();
+  Result<api::QueryResponse> result = server.Submit(request).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
 }
 
 #ifndef NDEBUG
