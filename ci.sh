@@ -24,10 +24,13 @@ run_tier1() {
 
 # Bench smoke: Release tree (the perf numbers people quote), smallest
 # cycle-enumeration configs (sequential, legacy, and a 2-thread parallel
-# run whose setup hard-asserts bit-identical cycles) plus the ball-pruning
+# run whose setup hard-asserts bit-identical cycles), the ball-pruning
 # bench (whose setup hard-asserts pruned == unpruned cycle sets and a
-# >= 1.3x best speedup), hard-failing on crash or malformed JSON so the
-# perf benches and their machine-readable output can't silently rot.
+# >= 1.3x best speedup), and the snapshot-load bench (whose setup
+# hard-asserts bit-identical graphs across all startup paths and a
+# >= 10x mmap-vs-rebuild speedup), hard-failing on crash or malformed
+# JSON so the perf benches and their machine-readable output can't
+# silently rot.
 #
 # Set WQE_WRITE_BASELINE=1 to install this run's BENCH_*.json files into
 # bench/baselines/ instead of gating against them — only do this on a
@@ -37,12 +40,14 @@ run_bench() {
   cmake -B build-bench -S . -DWQE_WERROR=ON -DCMAKE_BUILD_TYPE=Release \
     -DWQE_BUILD_TESTS=OFF -DWQE_BUILD_EXAMPLES=OFF
   cmake --build build-bench -j --target wqe_bench_perf_cycle_enumeration \
-    --target wqe_bench_perf_ball_pruning
+    --target wqe_bench_perf_ball_pruning \
+    --target wqe_bench_perf_snapshot_load
   cd build-bench
   ./wqe_bench_perf_cycle_enumeration \
     --benchmark_filter='BM_CycleEnumerationBall(Legacy|Parallel/2)?/3/100$' \
     --benchmark_min_time=0.05
   ./wqe_bench_perf_ball_pruning
+  ./wqe_bench_perf_snapshot_load
   python3 - <<'EOF'
 import json
 with open('BENCH_perf_cycle_enumeration.json') as f:
@@ -65,10 +70,12 @@ EOF
   # `bench_compare.py --write-baseline` directly — to capture one).
   if [ "${WQE_WRITE_BASELINE:-0}" = "1" ]; then
     python3 ../bench/bench_compare.py --write-baseline ../bench/baselines \
-      BENCH_perf_cycle_enumeration.json BENCH_perf_ball_pruning.json
+      BENCH_perf_cycle_enumeration.json BENCH_perf_ball_pruning.json \
+      BENCH_perf_snapshot_load.json
   else
     for bench_json in BENCH_perf_cycle_enumeration.json \
-                      BENCH_perf_ball_pruning.json; do
+                      BENCH_perf_ball_pruning.json \
+                      BENCH_perf_snapshot_load.json; do
       python3 ../bench/bench_compare.py "$bench_json" "$bench_json"
       if [ -f "../bench/baselines/$bench_json" ]; then
         python3 ../bench/bench_compare.py \
@@ -89,15 +96,17 @@ EOF
 # pruned-identity property suite at 4 threads; ball_prune_test because
 # the pruning kernel records into the shared global metrics registry;
 # obs_test for the lock-free metrics instruments (multi-writer histogram
-# stress) and trace propagation across pool tasks.  (The asan lane below
-# runs the full ctest suite, so both already cover obs_test there.)
+# stress) and trace propagation across pool tasks; snapshot_test for hot
+# republish under live traffic (epoch swap + cache generation churn).
+# (The asan lane below runs the full ctest suite, so both already cover
+# obs_test there.)
 run_tsan() {
   set -x
   cmake -B build-tsan -S . -DWQE_TSAN=ON -DWQE_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Debug \
     -DWQE_BUILD_BENCHES=OFF -DWQE_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
-  (cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test|obs_test|ball_prune_test|chaos_test')
+  (cd build-tsan && ctest --output-on-failure -R 'serve_test|api_test|cycles_test|obs_test|ball_prune_test|chaos_test|snapshot_test')
   set +x
 }
 

@@ -58,13 +58,6 @@ Result<std::unique_ptr<Engine>> Engine::Build(wiki::KnowledgeBase kb,
   }
   std::unique_ptr<Engine> engine(new Engine());
   engine->options_ = std::move(options);
-  engine->kb_ = std::move(kb);
-  // One-way bridge: compile the structural snapshot every expander (and
-  // thus every serving thread) will share.  After this the KB topology is
-  // immutable for the engine's lifetime.
-  engine->kb_.Freeze();
-  engine->linker_ = std::make_unique<linking::EntityLinker>(
-      &engine->kb_, engine->options_.linker);
   engine->search_ =
       std::make_unique<ir::SearchEngine>(engine->options_.search);
   // Intra-request enumeration parallelism: one engine-owned pool, wired
@@ -107,7 +100,47 @@ Result<std::unique_ptr<Engine>> Engine::Build(wiki::KnowledgeBase kb,
       registry.GetCounter("wqe.engine.cache_hits", labels);
   engine->counters_.cache_misses =
       registry.GetCounter("wqe.engine.cache_misses", labels);
+  engine->counters_.snapshot_generation =
+      registry.GetGauge("wqe.server.snapshot_generation", labels);
+  // Publish the initial graph epoch (generation 1).  Freezing happens
+  // inside MakeSnapshot — the one-way bridge that compiles the structural
+  // CSR every expander and worker thread will share.
+  {
+    common::MutexLock lock(engine->snapshot_mu_);
+    engine->snapshot_ =
+        engine->MakeSnapshot(std::move(kb), ++engine->next_generation_);
+  }
+  engine->counters_.snapshot_generation->Set(1.0);
   return engine;
+}
+
+std::shared_ptr<const GraphSnapshot> Engine::MakeSnapshot(
+    wiki::KnowledgeBase kb, uint64_t generation) const {
+  auto snapshot = std::make_shared<GraphSnapshot>();
+  snapshot->kb = std::move(kb);
+  snapshot->kb.Freeze();
+  // Built after the KB lands at its final heap address: the linker keeps
+  // a pointer to it.
+  snapshot->linker = std::make_unique<linking::EntityLinker>(&snapshot->kb,
+                                                             options_.linker);
+  snapshot->generation = generation;
+  return snapshot;
+}
+
+Status Engine::PublishSnapshot(wiki::KnowledgeBase kb) {
+  obs::Span span("snapshot-publish");
+  std::shared_ptr<const GraphSnapshot> snapshot =
+      MakeSnapshot(std::move(kb), ++next_generation_);
+  // The mutex publishes the fully built KB/linker to every reader that
+  // pins after this point.  Old epochs retire when the last in-flight
+  // request that pinned them drains — publishing never waits for them.
+  {
+    common::MutexLock lock(snapshot_mu_);
+    snapshot_ = snapshot;
+  }
+  counters_.snapshot_generation->Set(
+      static_cast<double>(snapshot->generation));
+  return Status::OK();
 }
 
 EngineStats Engine::stats() const {
@@ -145,15 +178,22 @@ std::string Engine::ResolveStrategy(std::string_view expander) const {
 
 Result<std::unique_ptr<expansion::Expander>> Engine::BuildExpander(
     std::string_view expander, const ExpanderOverrides& overrides) const {
-  WQE_ASSIGN_OR_RETURN(
-      std::unique_ptr<expansion::Expander> built,
-      registry_.Create(ResolveStrategy(expander), kb_, *linker_, overrides));
+  return BuildExpander(*CurrentSnapshot(), expander, overrides);
+}
+
+Result<std::unique_ptr<expansion::Expander>> Engine::BuildExpander(
+    const GraphSnapshot& snapshot, std::string_view expander,
+    const ExpanderOverrides& overrides) const {
+  WQE_ASSIGN_OR_RETURN(std::unique_ptr<expansion::Expander> built,
+                       registry_.Create(ResolveStrategy(expander), snapshot.kb,
+                                        *snapshot.linker, overrides));
   counters_.expanders_constructed->Inc();
   return built;
 }
 
 Result<Engine::ResolvedExpander> Engine::ResolveExpander(
-    std::string_view name, const ExpanderOverrides& overrides,
+    const GraphSnapshot& snapshot, std::string_view name,
+    const ExpanderOverrides& overrides,
     std::map<std::string, std::unique_ptr<expansion::Expander>>* cache)
     const {
   std::string resolved = ResolveStrategy(name);
@@ -161,7 +201,7 @@ Result<Engine::ResolvedExpander> Engine::ResolveExpander(
   auto it = cache->find(key);
   if (it == cache->end()) {
     WQE_ASSIGN_OR_RETURN(std::unique_ptr<expansion::Expander> built,
-                         BuildExpander(resolved, overrides));
+                         BuildExpander(snapshot, resolved, overrides));
     it = cache->emplace(std::move(key), std::move(built)).first;
   }
   return ResolvedExpander{it->second.get(), std::move(resolved)};
@@ -228,26 +268,34 @@ Result<QueryResponse> Engine::QueryWithExpansion(ExpandResponse expansion,
 Result<ExpandResponse> Engine::Expand(const ExpandRequest& request) const {
   common::ScopedExecContext exec_scope(
       RequestExecContext(request.deadline_ms, request.cancel));
+  // Pin the graph epoch for the whole request: a concurrent
+  // PublishSnapshot cannot swap the graph out from under the expansion.
+  std::shared_ptr<const GraphSnapshot> snapshot = CurrentSnapshot();
   std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
   WQE_ASSIGN_OR_RETURN(
       ResolvedExpander resolved,
-      ResolveExpander(request.expander, request.overrides, &cache));
+      ResolveExpander(*snapshot, request.expander, request.overrides, &cache));
   return ExpandWith(*resolved.expander, resolved.name, request.keywords);
 }
 
 Result<QueryResponse> Engine::Query(const QueryRequest& request) const {
   common::ScopedExecContext exec_scope(
       RequestExecContext(request.deadline_ms, request.cancel));
+  std::shared_ptr<const GraphSnapshot> snapshot = CurrentSnapshot();
   std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
   WQE_ASSIGN_OR_RETURN(
       ResolvedExpander resolved,
-      ResolveExpander(request.expander, request.overrides, &cache));
+      ResolveExpander(*snapshot, request.expander, request.overrides, &cache));
   return QueryWith(*resolved.expander, resolved.name, request);
 }
 
 Result<std::vector<ExpandResponse>> Engine::ExpandBatch(
     const std::vector<ExpandRequest>& requests) const {
   counters_.batches->Inc();
+  // One pin for the whole batch: every request in it expands on the same
+  // graph epoch, so batch results are mutually consistent even when a
+  // republish lands mid-batch.
+  std::shared_ptr<const GraphSnapshot> snapshot = CurrentSnapshot();
   std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
   std::vector<ExpandResponse> responses;
   responses.reserve(requests.size());
@@ -257,8 +305,8 @@ Result<std::vector<ExpandResponse>> Engine::ExpandBatch(
     // bleeds into its batch neighbors.
     common::ScopedExecContext exec_scope(
         RequestExecContext(requests[i].deadline_ms, requests[i].cancel));
-    auto resolved =
-        ResolveExpander(requests[i].expander, requests[i].overrides, &cache);
+    auto resolved = ResolveExpander(*snapshot, requests[i].expander,
+                                    requests[i].overrides, &cache);
     if (!resolved.ok()) {
       return resolved.status().WithContext("ExpandBatch request #" +
                                            std::to_string(i));
@@ -277,14 +325,15 @@ Result<std::vector<ExpandResponse>> Engine::ExpandBatch(
 Result<std::vector<QueryResponse>> Engine::QueryBatch(
     const std::vector<QueryRequest>& requests) const {
   counters_.batches->Inc();
+  std::shared_ptr<const GraphSnapshot> snapshot = CurrentSnapshot();
   std::map<std::string, std::unique_ptr<expansion::Expander>> cache;
   std::vector<QueryResponse> responses;
   responses.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     common::ScopedExecContext exec_scope(
         RequestExecContext(requests[i].deadline_ms, requests[i].cancel));
-    auto resolved =
-        ResolveExpander(requests[i].expander, requests[i].overrides, &cache);
+    auto resolved = ResolveExpander(*snapshot, requests[i].expander,
+                                    requests[i].overrides, &cache);
     if (!resolved.ok()) {
       return resolved.status().WithContext("QueryBatch request #" +
                                            std::to_string(i));

@@ -18,6 +18,20 @@
 /// per-call `ExpanderOverrides` — callers never instantiate concrete
 /// expander classes.  Benches, examples and tests go through this facade
 /// (see `api::Testbed` for the synthetic-experiment builder).
+///
+/// Hot republish: the KB and the linker built over it live together in a
+/// `GraphSnapshot`, held as a `shared_ptr<const ...>` behind a tiny
+/// mutex (pinning is lock/copy/unlock — microseconds against the
+/// millisecond-scale expansions it protects).  `PublishSnapshot` swaps
+/// in a freshly built snapshot (e.g. one loaded from disk, see
+/// snapshot/reader.h) while serving continues: every request pins the
+/// snapshot it started on via a `shared_ptr` copy and finishes there;
+/// requests arriving after the swap see the new one.  The old snapshot
+/// is destroyed when its last in-flight request drains —
+/// epoch-style retirement that never blocks a request.  Each snapshot
+/// carries a monotonically increasing `generation`, which the serve
+/// layer's `ExpansionCache` stamps into entries so a republish implicitly
+/// invalidates stale cached expansions (see serve/expansion_cache.h).
 
 #include <atomic>
 #include <memory>
@@ -27,6 +41,7 @@
 
 #include "api/expander_registry.h"
 #include "common/deadline.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "ir/search_engine.h"
 #include "linking/entity_linker.h"
@@ -133,8 +148,19 @@ struct EngineStats {
   size_t cache_misses = 0;
 };
 
+/// \brief One published graph epoch: the frozen KB plus the linker built
+/// over it.  Heap-allocated and immutable once published; shared by every
+/// request that pinned it.  `generation` increases by one per publish
+/// (the initial `Engine::Build` snapshot is generation 1).
+struct GraphSnapshot {
+  wiki::KnowledgeBase kb;
+  std::unique_ptr<linking::EntityLinker> linker;
+  uint64_t generation = 0;
+};
+
 /// \brief The facade.  Immutable topology after `Build` (documents may be
-/// added until `FinalizeIndex`); all serving calls are const.
+/// added until `FinalizeIndex`); all serving calls are const.  The graph
+/// snapshot is replaceable at runtime via `PublishSnapshot`.
 class Engine {
  public:
   /// \brief Takes ownership of `kb`, freezes it into its immutable
@@ -187,11 +213,22 @@ class Engine {
   std::string ResolveStrategy(std::string_view expander) const;
 
   /// \brief Constructs one expander instance for `(strategy, overrides)`
-  /// and counts it in `stats().expanders_constructed`.  The instance only
-  /// borrows the engine's KB and linker and its `Expand` is const, so one
-  /// instance may serve many threads concurrently.
+  /// against the *current* snapshot and counts it in
+  /// `stats().expanders_constructed`.  The instance only borrows the
+  /// snapshot's KB and linker and its `Expand` is const, so one instance
+  /// may serve many threads concurrently — but it does NOT pin the
+  /// snapshot; callers that hold expanders across a possible republish
+  /// use the pinned overload below.
   Result<std::unique_ptr<expansion::Expander>> BuildExpander(
       std::string_view expander, const ExpanderOverrides& overrides) const;
+
+  /// \brief As above, built against `snapshot` — the serve layer pins a
+  /// snapshot per request (`CurrentSnapshot`) and builds expanders
+  /// against exactly that epoch, so a concurrent `PublishSnapshot` never
+  /// mixes graph versions inside one request.
+  Result<std::unique_ptr<expansion::Expander>> BuildExpander(
+      const GraphSnapshot& snapshot, std::string_view expander,
+      const ExpanderOverrides& overrides) const;
 
   /// \brief Expands `keywords` with a caller-provided (typically shared)
   /// expander instance; `resolved_name` is echoed into the response.
@@ -225,6 +262,34 @@ class Engine {
   /// annotated-mutex discipline used everywhere else in the serve layer.
   void LockRegistry() const { registry_locked_.store(true); }
   bool registry_locked() const { return registry_locked_.load(); }
+
+  /// \brief Pins the current graph epoch.  The returned pointer keeps the
+  /// snapshot (KB, linker, any mmap behind the KB's CSR) alive until the
+  /// caller drops it, so an in-flight request is immune to republishes.
+  /// A brief lock/copy/unlock rather than `std::atomic<shared_ptr>`:
+  /// libstdc++'s `_Sp_atomic::load` unlocks its internal spinlock with a
+  /// relaxed RMW, so TSan (correctly, per the formal model) flags a race
+  /// against a concurrent store — the annotated mutex gives the same
+  /// epoch semantics with a contract the sanitizer can verify.
+  std::shared_ptr<const GraphSnapshot> CurrentSnapshot() const {
+    common::MutexLock lock(snapshot_mu_);
+    return snapshot_;
+  }
+
+  /// \brief Atomically replaces the graph snapshot with `kb` (frozen here
+  /// if the caller has not done so): builds the linker over it, stamps
+  /// the next generation, and publishes.  In-flight requests finish on
+  /// the snapshot they pinned; new requests see the new one.  The
+  /// retrieval index, registry and options are untouched — this swaps
+  /// the *graph*, not the engine.  Thread-safe against serving calls;
+  /// concurrent publishers serialize on the snapshot mutex (last one
+  /// wins).  Records a `snapshot-publish` span and sets the
+  /// `wqe.server.snapshot_generation` gauge.
+  Status PublishSnapshot(wiki::KnowledgeBase kb);
+
+  /// \brief Generation of the currently published snapshot (1 after
+  /// `Build`, +1 per `PublishSnapshot`).
+  uint64_t snapshot_generation() const { return CurrentSnapshot()->generation; }
   /// @}
 
   /// \name Components
@@ -234,8 +299,14 @@ class Engine {
   /// (see `LockRegistry`); debug builds abort on the violation.
   ExpanderRegistry& registry();
   const ExpanderRegistry& registry() const { return registry_; }
-  const wiki::KnowledgeBase& kb() const { return kb_; }
-  const linking::EntityLinker& linker() const { return *linker_; }
+  /// \brief Convenience views of the *current* snapshot's KB/linker.
+  /// The references stay valid while that snapshot is published (or
+  /// otherwise pinned) — code that may overlap a `PublishSnapshot` must
+  /// hold a `CurrentSnapshot()` pin and read through it instead.
+  const wiki::KnowledgeBase& kb() const { return CurrentSnapshot()->kb; }
+  const linking::EntityLinker& linker() const {
+    return *CurrentSnapshot()->linker;
+  }
   const ir::SearchEngine& search_engine() const { return *search_; }
   const EngineOptions& options() const { return options_; }
   /// \brief Coherent-enough copy of the cumulative counters (relaxed
@@ -256,11 +327,18 @@ class Engine {
     std::string name;
   };
 
-  /// Builds (or reuses, via `cache`) the expander for a request.
+  /// Builds (or reuses, via `cache`) the expander for a request, against
+  /// the pinned `snapshot`.
   Result<ResolvedExpander> ResolveExpander(
-      std::string_view name, const ExpanderOverrides& overrides,
+      const GraphSnapshot& snapshot, std::string_view name,
+      const ExpanderOverrides& overrides,
       std::map<std::string, std::unique_ptr<expansion::Expander>>* cache)
       const;
+
+  /// Freezes `kb`, builds the linker over it and wraps both with
+  /// `generation` (shared by Build and PublishSnapshot).
+  std::shared_ptr<const GraphSnapshot> MakeSnapshot(wiki::KnowledgeBase kb,
+                                                    uint64_t generation) const;
 
   Result<QueryResponse> QueryWith(const expansion::Expander& expander,
                                   std::string_view resolved_name,
@@ -279,11 +357,18 @@ class Engine {
     obs::Counter* batches = nullptr;
     obs::Counter* cache_hits = nullptr;
     obs::Counter* cache_misses = nullptr;
+    obs::Gauge* snapshot_generation = nullptr;
   };
 
   EngineOptions options_;
-  wiki::KnowledgeBase kb_;
-  std::unique_ptr<linking::EntityLinker> linker_;
+  /// The published graph epoch.  Readers pin by copying the pointer
+  /// under `snapshot_mu_` (`CurrentSnapshot`); `PublishSnapshot`
+  /// replaces it under the same lock.  Retirement is reference-counted:
+  /// the old epoch dies when its last pinning request drains.
+  mutable common::Mutex snapshot_mu_;
+  std::shared_ptr<const GraphSnapshot> snapshot_
+      WQE_GUARDED_BY(snapshot_mu_);
+  std::atomic<uint64_t> next_generation_{0};
   std::unique_ptr<ir::SearchEngine> search_;
   /// Declared before the registry: factories capture the pool pointer in
   /// their defaults, so it must outlive every expander they build.

@@ -1,6 +1,7 @@
 #include "graph/csr.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/macros.h"
 
@@ -31,17 +32,41 @@ void AppendRow(std::vector<RowEntry>* row, std::vector<NodeId>* nodes,
   row->clear();
 }
 
+/// Row view over not-yet-bound vectors (Freeze reads the directed arrays
+/// back while building the undirected CSR, before any span is bound).
+template <typename T>
+std::span<const T> VectorRow(const std::vector<T>& data,
+                             const std::vector<uint64_t>& offsets, NodeId n) {
+  return std::span<const T>(data.data() + offsets[n],
+                            data.data() + offsets[n + 1]);
+}
+
 }  // namespace
+
+void CsrGraph::BindSpans(const CsrArrays& arrays) {
+  kinds_ = arrays.kinds;
+  redirect_target_ = arrays.redirect_target;
+  out_offsets_ = arrays.out_offsets;
+  out_targets_ = arrays.out_targets;
+  out_kinds_ = arrays.out_kinds;
+  in_offsets_ = arrays.in_offsets;
+  in_sources_ = arrays.in_sources;
+  in_kinds_ = arrays.in_kinds;
+  und_offsets_ = arrays.und_offsets;
+  und_neighbors_ = arrays.und_neighbors;
+  und_mult_ = arrays.und_mult;
+}
 
 CsrGraph CsrGraph::Freeze(const PropertyGraph& builder) {
   CsrGraph g;
+  CsrArrays a;
   const uint32_t n = static_cast<uint32_t>(builder.num_nodes());
 
-  g.kinds_.reserve(n);
-  g.redirect_target_.assign(n, kInvalidNode);
+  a.kinds.reserve(n);
+  a.redirect_target.assign(n, kInvalidNode);
   for (NodeId u = 0; u < n; ++u) {
     NodeKind kind = builder.kind(u);
-    g.kinds_.push_back(kind);
+    a.kinds.push_back(kind);
     ++g.node_kind_counts_[static_cast<size_t>(kind)];
   }
   for (int k = 0; k < 4; ++k) {
@@ -49,41 +74,43 @@ CsrGraph CsrGraph::Freeze(const PropertyGraph& builder) {
   }
 
   // --- Directed CSR, each row sorted by (target, kind). ---
-  g.out_offsets_.reserve(n + 1);
-  g.in_offsets_.reserve(n + 1);
-  g.out_offsets_.push_back(0);
-  g.in_offsets_.push_back(0);
-  g.out_targets_.reserve(builder.num_edges());
-  g.out_kinds_.reserve(builder.num_edges());
-  g.in_sources_.reserve(builder.num_edges());
-  g.in_kinds_.reserve(builder.num_edges());
+  a.out_offsets.reserve(n + 1);
+  a.in_offsets.reserve(n + 1);
+  a.out_offsets.push_back(0);
+  a.in_offsets.push_back(0);
+  a.out_targets.reserve(builder.num_edges());
+  a.out_kinds.reserve(builder.num_edges());
+  a.in_sources.reserve(builder.num_edges());
+  a.in_kinds.reserve(builder.num_edges());
   std::vector<RowEntry> row;
   for (NodeId u = 0; u < n; ++u) {
     for (const Edge& e : builder.OutEdges(u)) {
       row.push_back({e.dst, e.kind});
       if (e.kind == EdgeKind::kRedirect &&
-          g.redirect_target_[u] == kInvalidNode) {
-        g.redirect_target_[u] = e.dst;
+          a.redirect_target[u] == kInvalidNode) {
+        a.redirect_target[u] = e.dst;
       }
     }
-    AppendRow(&row, &g.out_targets_, &g.out_kinds_, &g.out_offsets_);
+    AppendRow(&row, &a.out_targets, &a.out_kinds, &a.out_offsets);
   }
   for (NodeId u = 0; u < n; ++u) {
     for (const Edge& e : builder.InEdges(u)) {
       row.push_back({e.dst, e.kind});  // e.dst is the *source* in in-lists
     }
-    AppendRow(&row, &g.in_sources_, &g.in_kinds_, &g.in_offsets_);
+    AppendRow(&row, &a.in_sources, &a.in_kinds, &a.in_offsets);
   }
 
   // --- Undirected CSR (redirects excluded): merge the two sorted rows of
   // every node, counting parallel edges per distinct neighbor. ---
-  g.und_offsets_.reserve(n + 1);
-  g.und_offsets_.push_back(0);
+  a.und_offsets.reserve(n + 1);
+  a.und_offsets.push_back(0);
   for (NodeId u = 0; u < n; ++u) {
-    std::span<const NodeId> out = g.OutTargets(u);
-    std::span<const EdgeKind> out_kinds = g.OutKinds(u);
-    std::span<const NodeId> in = g.InSources(u);
-    std::span<const EdgeKind> in_kinds = g.InKinds(u);
+    std::span<const NodeId> out = VectorRow(a.out_targets, a.out_offsets, u);
+    std::span<const EdgeKind> out_kinds =
+        VectorRow(a.out_kinds, a.out_offsets, u);
+    std::span<const NodeId> in = VectorRow(a.in_sources, a.in_offsets, u);
+    std::span<const EdgeKind> in_kinds =
+        VectorRow(a.in_kinds, a.in_offsets, u);
     size_t i = 0, j = 0;
     auto skip_redirects = [&] {
       while (i < out.size() && out_kinds[i] == EdgeKind::kRedirect) ++i;
@@ -107,17 +134,69 @@ CsrGraph CsrGraph::Freeze(const PropertyGraph& builder) {
         ++j;
       }
       if (mult > 0) {
-        g.und_neighbors_.push_back(next);
-        g.und_mult_.push_back(mult);
+        a.und_neighbors.push_back(next);
+        a.und_mult.push_back(mult);
       }
       skip_redirects();
     }
-    g.und_offsets_.push_back(g.und_neighbors_.size());
+    a.und_offsets.push_back(a.und_neighbors.size());
   }
+  g.owned_ = std::make_shared<CsrArrays>(std::move(a));
+  g.BindSpans(*g.owned_);
   // Debug builds verify the snapshot before anything can run on it; a
   // violation here is a Freeze bug, not bad input.
   g.DCheckInvariants();
   return g;
+}
+
+Result<CsrGraph> CsrGraph::FromSections(const CsrSections& sections,
+                                        std::shared_ptr<const void> storage,
+                                        bool check_invariants) {
+  CsrGraph g;
+  g.external_ = std::move(storage);
+  g.kinds_ = sections.kinds;
+  g.redirect_target_ = sections.redirect_target;
+  g.out_offsets_ = sections.out_offsets;
+  g.out_targets_ = sections.out_targets;
+  g.out_kinds_ = sections.out_kinds;
+  g.in_offsets_ = sections.in_offsets;
+  g.in_sources_ = sections.in_sources;
+  g.in_kinds_ = sections.in_kinds;
+  g.und_offsets_ = sections.und_offsets;
+  g.und_neighbors_ = sections.und_neighbors;
+  g.und_mult_ = sections.und_mult;
+  for (size_t k = 0; k < 4; ++k) {
+    g.edge_kind_counts_[k] = static_cast<size_t>(sections.edge_kind_counts[k]);
+  }
+  for (size_t k = 0; k < 2; ++k) {
+    g.node_kind_counts_[k] = static_cast<size_t>(sections.node_kind_counts[k]);
+  }
+  if (check_invariants) {
+    WQE_RETURN_NOT_OK(g.CheckInvariants());
+  }
+  return g;
+}
+
+CsrSections CsrGraph::Sections() const {
+  CsrSections s;
+  s.kinds = kinds_;
+  s.redirect_target = redirect_target_;
+  s.out_offsets = out_offsets_;
+  s.out_targets = out_targets_;
+  s.out_kinds = out_kinds_;
+  s.in_offsets = in_offsets_;
+  s.in_sources = in_sources_;
+  s.in_kinds = in_kinds_;
+  s.und_offsets = und_offsets_;
+  s.und_neighbors = und_neighbors_;
+  s.und_mult = und_mult_;
+  for (size_t k = 0; k < 4; ++k) {
+    s.edge_kind_counts[k] = static_cast<uint64_t>(edge_kind_counts_[k]);
+  }
+  for (size_t k = 0; k < 2; ++k) {
+    s.node_kind_counts[k] = static_cast<uint64_t>(node_kind_counts_[k]);
+  }
+  return s;
 }
 
 namespace {
@@ -126,9 +205,9 @@ namespace {
 /// offsets ending at the data size, a kind array parallel to the node
 /// array, in-range endpoints, rows sorted by (node, kind).
 Status CheckDirectedCsr(const char* what, uint32_t n,
-                        const std::vector<uint64_t>& offsets,
-                        const std::vector<NodeId>& nodes,
-                        const std::vector<EdgeKind>& kinds) {
+                        std::span<const uint64_t> offsets,
+                        std::span<const NodeId> nodes,
+                        std::span<const EdgeKind> kinds) {
   if (offsets.size() != static_cast<size_t>(n) + 1) {
     return Status::Internal(what, ": offsets size ", offsets.size(),
                             " != num_nodes + 1 = ", n + 1);
@@ -179,6 +258,14 @@ Status CsrGraph::CheckInvariants() const {
     return Status::Internal("redirect table size ", redirect_target_.size(),
                             " != num_nodes ", n);
   }
+  // Kind bytes must name a real NodeKind before they are used as count
+  // indices (snapshot-loaded sections are raw file bytes).
+  for (NodeKind kind : kinds_) {
+    if (static_cast<uint8_t>(kind) >= 2) {
+      return Status::Internal("node kind byte ",
+                              static_cast<uint32_t>(kind), " out of range");
+    }
+  }
   std::array<size_t, 2> node_counts{};
   for (NodeKind kind : kinds_) ++node_counts[static_cast<size_t>(kind)];
   if (node_counts != node_kind_counts_) {
@@ -192,6 +279,12 @@ Status CsrGraph::CheckInvariants() const {
   if (in_sources_.size() != out_targets_.size()) {
     return Status::Internal("in CSR holds ", in_sources_.size(),
                             " edges, out CSR holds ", out_targets_.size());
+  }
+  for (EdgeKind kind : out_kinds_) {
+    if (static_cast<uint8_t>(kind) >= 4) {
+      return Status::Internal("edge kind byte ",
+                              static_cast<uint32_t>(kind), " out of range");
+    }
   }
   std::array<size_t, 4> edge_counts{};
   for (EdgeKind kind : out_kinds_) ++edge_counts[static_cast<size_t>(kind)];

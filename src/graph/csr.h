@@ -18,16 +18,64 @@
 /// read-only across any number of serving threads.  Labels stay on the
 /// builder (`wiki::KnowledgeBase` keeps both and hands out the snapshot
 /// through `csr()`).
+///
+/// Storage abstraction: the graph reads every flat array through a
+/// `std::span`, and the bytes behind those spans are interchangeable —
+/// either vectors built by `Freeze` (owned via a `CsrArrays` block) or an
+/// externally-owned region such as a read-only `mmap` of an on-disk
+/// snapshot (pinned via a type-erased `shared_ptr`, see
+/// `snapshot::Reader`).  `Sections()` / `FromSections()` are the exchange
+/// points with the snapshot writer/reader: the exact arrays, zero copies.
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
 namespace wqe::graph {
+
+/// \brief Owned backing storage of one frozen snapshot: the eleven flat
+/// CSR arrays as vectors.  `CsrGraph::Freeze` builds one of these on the
+/// heap and keeps it alive behind the graph's spans; the snapshot
+/// reader's copy mode does the same from file bytes.
+struct CsrArrays {
+  std::vector<NodeKind> kinds;
+  std::vector<NodeId> redirect_target;
+  std::vector<uint64_t> out_offsets;
+  std::vector<NodeId> out_targets;
+  std::vector<EdgeKind> out_kinds;
+  std::vector<uint64_t> in_offsets;
+  std::vector<NodeId> in_sources;
+  std::vector<EdgeKind> in_kinds;
+  std::vector<uint64_t> und_offsets;
+  std::vector<NodeId> und_neighbors;
+  std::vector<uint32_t> und_mult;
+};
+
+/// \brief Read-only view of every flat array plus the precomputed
+/// counts — the unit of exchange between a `CsrGraph` and the on-disk
+/// snapshot format (`snapshot::Writer` serializes these sections;
+/// `snapshot::Reader` reconstitutes a graph from them).
+struct CsrSections {
+  std::span<const NodeKind> kinds;
+  std::span<const NodeId> redirect_target;
+  std::span<const uint64_t> out_offsets;
+  std::span<const NodeId> out_targets;
+  std::span<const EdgeKind> out_kinds;
+  std::span<const uint64_t> in_offsets;
+  std::span<const NodeId> in_sources;
+  std::span<const EdgeKind> in_kinds;
+  std::span<const uint64_t> und_offsets;
+  std::span<const NodeId> und_neighbors;
+  std::span<const uint32_t> und_mult;
+  std::array<uint64_t, 4> edge_kind_counts{};
+  std::array<uint64_t, 2> node_kind_counts{};
+};
 
 /// \brief Frozen flat-adjacency snapshot of a `PropertyGraph`.
 class CsrGraph {
@@ -39,6 +87,22 @@ class CsrGraph {
   /// mutations (callers that need coherence gate mutation themselves, as
   /// `wiki::KnowledgeBase` does).
   static CsrGraph Freeze(const PropertyGraph& builder);
+
+  /// \brief Reconstitutes a snapshot from raw sections (the snapshot
+  /// reader's path).  `storage` is the type-erased owner of the bytes the
+  /// spans point into (an mmap region or a copied-arrays block) and is
+  /// pinned for the graph's lifetime.  With `check_invariants` the full
+  /// `CheckInvariants()` pass runs and corrupt sections come back as a
+  /// precise `Status` instead of a snapshot that would misbehave later;
+  /// callers that skip it (mmap fast loads) must have bounds-validated
+  /// the sections themselves, as `snapshot::Reader` does.
+  static Result<CsrGraph> FromSections(const CsrSections& sections,
+                                       std::shared_ptr<const void> storage,
+                                       bool check_invariants = true);
+
+  /// \brief The exact arrays behind this snapshot, as read-only sections.
+  /// Valid while the graph (or a copy sharing its storage) is alive.
+  CsrSections Sections() const;
 
   /// \name Nodes
   /// @{
@@ -143,29 +207,38 @@ class CsrGraph {
   friend struct CsrGraphTestPeer;
 
   template <typename T>
-  static std::span<const T> Row(const std::vector<T>& data,
-                                const std::vector<uint64_t>& offsets,
-                                NodeId n) {
-    return std::span<const T>(data.data() + offsets[n],
-                              data.data() + offsets[n + 1]);
+  static std::span<const T> Row(std::span<const T> data,
+                                std::span<const uint64_t> offsets, NodeId n) {
+    return data.subspan(offsets[n], offsets[n + 1] - offsets[n]);
   }
 
-  std::vector<NodeKind> kinds_;
-  std::vector<NodeId> redirect_target_;
+  /// Points every span at the vectors of `arrays` (which must already be
+  /// final-sized: a later reallocation would dangle the spans).
+  void BindSpans(const CsrArrays& arrays);
 
-  std::vector<uint64_t> out_offsets_;  // size num_nodes() + 1
-  std::vector<NodeId> out_targets_;
-  std::vector<EdgeKind> out_kinds_;
-  std::vector<uint64_t> in_offsets_;
-  std::vector<NodeId> in_sources_;
-  std::vector<EdgeKind> in_kinds_;
+  /// Every access goes through these spans; the arrays behind them are
+  /// pinned by exactly one of `owned_` (Freeze / copy-loaded) or
+  /// `external_` (mmap-loaded).  Copies of a CsrGraph share storage —
+  /// sound because a frozen snapshot is immutable.
+  std::span<const NodeKind> kinds_;
+  std::span<const NodeId> redirect_target_;
 
-  std::vector<uint64_t> und_offsets_;
-  std::vector<NodeId> und_neighbors_;
-  std::vector<uint32_t> und_mult_;
+  std::span<const uint64_t> out_offsets_;  // size num_nodes() + 1
+  std::span<const NodeId> out_targets_;
+  std::span<const EdgeKind> out_kinds_;
+  std::span<const uint64_t> in_offsets_;
+  std::span<const NodeId> in_sources_;
+  std::span<const EdgeKind> in_kinds_;
+
+  std::span<const uint64_t> und_offsets_;
+  std::span<const NodeId> und_neighbors_;
+  std::span<const uint32_t> und_mult_;
 
   std::array<size_t, 4> edge_kind_counts_{};
   std::array<size_t, 2> node_kind_counts_{};
+
+  std::shared_ptr<CsrArrays> owned_;
+  std::shared_ptr<const void> external_;
 };
 
 }  // namespace wqe::graph

@@ -51,15 +51,25 @@ ExpansionCache::ExpansionCache(ExpansionCacheOptions options)
   misses_ = registry.GetCounter("wqe.cache.misses", labels);
   evictions_ = registry.GetCounter("wqe.cache.evictions", labels);
   expirations_ = registry.GetCounter("wqe.cache.expirations", labels);
+  stale_drops_ = registry.GetCounter("wqe.cache.stale_drops", labels);
 }
 
 std::shared_ptr<const api::ExpandResponse> ExpansionCache::Get(
-    const Key& key) {
+    const Key& key, uint64_t generation) {
   Shard& shard = ShardFor(key.Hash());
   auto now = std::chrono::steady_clock::now();
   common::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
+    misses_->Inc();
+    return nullptr;
+  }
+  if (it->second->generation != generation) {
+    // Computed under a different graph epoch — a republish happened.
+    // Drop rather than serve a result the current graph may contradict.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    stale_drops_->Inc();
     misses_->Inc();
     return nullptr;
   }
@@ -76,7 +86,8 @@ std::shared_ptr<const api::ExpandResponse> ExpansionCache::Get(
   return it->second->value;
 }
 
-void ExpansionCache::Put(const Key& key, api::ExpandResponse response) {
+void ExpansionCache::Put(const Key& key, api::ExpandResponse response,
+                         uint64_t generation) {
   auto value = std::make_shared<const api::ExpandResponse>(std::move(response));
   Shard& shard = ShardFor(key.Hash());
   auto now = std::chrono::steady_clock::now();
@@ -85,10 +96,11 @@ void ExpansionCache::Put(const Key& key, api::ExpandResponse response) {
   if (it != shard.index.end()) {
     it->second->value = std::move(value);
     it->second->inserted = now;
+    it->second->generation = generation;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{key, std::move(value), now});
+  shard.lru.push_front(Entry{key, std::move(value), now, generation});
   shard.index.emplace(key, shard.lru.begin());
   if (shard.lru.size() > per_shard_capacity_) {
     shard.index.erase(shard.lru.back().key);
@@ -150,6 +162,7 @@ ExpansionCacheStats ExpansionCache::stats() const {
   stats.misses = misses_->value();
   stats.evictions = evictions_->value();
   stats.expirations = expirations_->value();
+  stats.stale_drops = stale_drops_->value();
   stats.entries = size();
   return stats;
 }

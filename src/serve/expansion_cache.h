@@ -16,6 +16,14 @@
 /// pool contend only when they land on the same shard.  Per-shard
 /// capacity bounds total memory; an optional TTL ages entries out for
 /// deployments whose knowledge base is periodically rebuilt.
+///
+/// Generations: "over an immutable knowledge base" became "over the
+/// snapshot that computed it" once the engine learned hot republish
+/// (`api::Engine::PublishSnapshot`).  Every entry is stamped with the
+/// graph-snapshot generation it was computed under; a `Get` whose caller
+/// passes a newer generation treats the entry as stale — dropped on
+/// sight, counted as a miss plus a `stale_drops` — so a republish
+/// implicitly invalidates the whole cache without any global sweep.
 
 #include <atomic>
 #include <chrono>
@@ -55,6 +63,7 @@ struct ExpansionCacheStats {
   size_t misses = 0;
   size_t evictions = 0;    ///< capacity-driven LRU drops
   size_t expirations = 0;  ///< TTL-driven drops
+  size_t stale_drops = 0;  ///< generation-mismatch drops (post-republish)
   size_t entries = 0;      ///< currently resident
 
   double HitRatio() const {
@@ -92,11 +101,17 @@ class ExpansionCache {
 
   /// \brief Returns the cached expansion (refreshing its LRU position) or
   /// nullptr on miss.  The returned pointer stays valid after eviction.
-  std::shared_ptr<const api::ExpandResponse> Get(const Key& key);
+  /// `generation` is the caller's pinned graph-snapshot generation: an
+  /// entry stamped with a different one is dropped as stale (default 0
+  /// matches the default `Put`, for generation-agnostic callers/tests).
+  std::shared_ptr<const api::ExpandResponse> Get(const Key& key,
+                                                 uint64_t generation = 0);
 
-  /// \brief Inserts (or refreshes) `response` under `key`, evicting the
-  /// least-recently-used entry of the target shard when it is full.
-  void Put(const Key& key, api::ExpandResponse response);
+  /// \brief Inserts (or refreshes) `response` under `key`, stamped with
+  /// `generation`, evicting the least-recently-used entry of the target
+  /// shard when it is full.
+  void Put(const Key& key, api::ExpandResponse response,
+           uint64_t generation = 0);
 
   /// \brief Drops every entry; counters are kept.
   void Clear();
@@ -126,6 +141,7 @@ class ExpansionCache {
     Key key;
     std::shared_ptr<const api::ExpandResponse> value;
     std::chrono::steady_clock::time_point inserted;
+    uint64_t generation = 0;  ///< graph-snapshot epoch that computed it
   };
   /// One lock + LRU list (front = most recent) + index per shard.
   struct Shard {
@@ -156,6 +172,7 @@ class ExpansionCache {
   obs::Counter* misses_ = nullptr;
   obs::Counter* evictions_ = nullptr;
   obs::Counter* expirations_ = nullptr;
+  obs::Counter* stale_drops_ = nullptr;
 };
 
 }  // namespace wqe::serve

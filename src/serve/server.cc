@@ -165,8 +165,9 @@ void Server::AttributeFailure(const Status& status) {
 }
 
 Result<api::ExpandResponse> Server::ExpandResolved(
-    const std::string& resolved, const std::string& keywords,
-    const api::ExpanderOverrides& overrides, BatchExpanders* batch) {
+    const api::GraphSnapshot& snapshot, const std::string& resolved,
+    const std::string& keywords, const api::ExpanderOverrides& overrides,
+    BatchExpanders* batch) {
   ExpansionCache::Key key;
   if (cache_ != nullptr) {
     key = ExpansionCache::Key{keywords, resolved, overrides};
@@ -174,7 +175,7 @@ Result<api::ExpandResponse> Server::ExpandResolved(
     {
       obs::Span span("cache-lookup", instruments_.cache_lookup, registry_);
       WQE_FAULT_POINT("serve.cache_lookup");
-      hit = cache_->Get(key);
+      hit = cache_->Get(key, snapshot.generation);
     }
     if (hit != nullptr) {
       engine_->NoteCacheHit();
@@ -198,7 +199,7 @@ Result<api::ExpandResponse> Server::ExpandResolved(
       if (it == batch->built.end()) {
         it = batch->built
                  .emplace(std::move(config),
-                          engine_->BuildExpander(resolved, overrides))
+                          engine_->BuildExpander(snapshot, resolved, overrides))
                  .first;
       }
       if (!it->second.ok()) {
@@ -208,7 +209,7 @@ Result<api::ExpandResponse> Server::ExpandResolved(
       expander = it->second->get();
     } else {
       Result<std::unique_ptr<expansion::Expander>> built =
-          engine_->BuildExpander(resolved, overrides);
+          engine_->BuildExpander(snapshot, resolved, overrides);
       if (!built.ok()) {
         instruments_.errors_expander_construction->Inc();
         return built.status();
@@ -228,23 +229,31 @@ Result<api::ExpandResponse> Server::ExpandResolved(
   // An OK response is always a *complete* expansion (the expander turns
   // truncated enumerations into errors), so it is safe to cache even if
   // the request itself is later demoted for finishing past its deadline.
-  if (cache_ != nullptr) cache_->Put(key, *response);
+  // Stamped with the pinned generation: entries computed on an epoch
+  // that was republished away die on their next lookup.
+  if (cache_ != nullptr) cache_->Put(key, *response, snapshot.generation);
   return response;
 }
 
 Result<api::ExpandResponse> Server::ExpandOne(
     const api::ExpandRequest& request) {
-  return ExpandResolved(engine_->ResolveStrategy(request.expander),
+  // Pin the graph epoch for this request; a concurrent PublishSnapshot
+  // retires the old epoch only after pins like this one drain.
+  std::shared_ptr<const api::GraphSnapshot> snapshot =
+      engine_->CurrentSnapshot();
+  return ExpandResolved(*snapshot, engine_->ResolveStrategy(request.expander),
                         request.keywords, request.overrides,
-                        /*expander=*/nullptr);
+                        /*batch=*/nullptr);
 }
 
 Result<api::QueryResponse> Server::QueryOne(const api::QueryRequest& request) {
+  std::shared_ptr<const api::GraphSnapshot> snapshot =
+      engine_->CurrentSnapshot();
   WQE_ASSIGN_OR_RETURN(
       api::ExpandResponse expansion,
-      ExpandResolved(engine_->ResolveStrategy(request.expander),
+      ExpandResolved(*snapshot, engine_->ResolveStrategy(request.expander),
                      request.keywords, request.overrides,
-                     /*expander=*/nullptr));
+                     /*batch=*/nullptr));
   Result<api::QueryResponse> response =
       engine_->QueryWithExpansion(std::move(expansion), request.top_k);
   if (!response.ok() && !IsInterruption(response.status())) {
@@ -323,6 +332,13 @@ Result<std::vector<Response>> Server::RunBatch(
   instruments_.batches->Inc();
   instruments_.requests->Inc(requests.size());
 
+  // One pin for the whole batch: every item expands on the same graph
+  // epoch (and the shared expanders below are built against it), so the
+  // batch's responses stay mutually consistent across a mid-batch
+  // republish.
+  std::shared_ptr<const api::GraphSnapshot> snapshot =
+      engine_->CurrentSnapshot();
+
   // Phase 1 (caller thread): resolve names only.  Expanders are built
   // lazily in the workers — at most one per distinct (strategy,
   // overrides), the same amortization as Engine::ExpandBatch, but a
@@ -349,12 +365,13 @@ Result<std::vector<Response>> Server::RunBatch(
       continue;
     }
     const auto submitted = std::chrono::steady_clock::now();
-    futures.push_back(pool_.Submit(
-        [this, &run, &requests, &resolved, &expanders, exec, submitted, i]() {
-          return ServeRequest<Response>(exec, submitted, [&] {
-            return run(&expanders, resolved[i], requests[i]);
-          });
-        }));
+    futures.push_back(pool_.Submit([this, &run, &requests, &resolved,
+                                    &expanders, &snapshot, exec, submitted,
+                                    i]() {
+      return ServeRequest<Response>(exec, submitted, [&] {
+        return run(*snapshot, &expanders, resolved[i], requests[i]);
+      });
+    }));
   }
   instruments_.queue_depth->Set(static_cast<double>(pool_.queue_depth()));
 
@@ -382,11 +399,13 @@ Result<std::vector<api::QueryResponse>> Server::QueryBatch(
     const std::vector<api::QueryRequest>& requests) {
   return RunBatch<api::QueryRequest, api::QueryResponse>(
       requests, "QueryBatch",
-      [this](BatchExpanders* batch, const std::string& name,
+      [this](const api::GraphSnapshot& snapshot, BatchExpanders* batch,
+             const std::string& name,
              const api::QueryRequest& request) -> Result<api::QueryResponse> {
         WQE_ASSIGN_OR_RETURN(
             api::ExpandResponse expansion,
-            ExpandResolved(name, request.keywords, request.overrides, batch));
+            ExpandResolved(snapshot, name, request.keywords, request.overrides,
+                           batch));
         Result<api::QueryResponse> response =
             engine_->QueryWithExpansion(std::move(expansion), request.top_k);
         if (!response.ok() && !IsInterruption(response.status())) {
@@ -400,11 +419,11 @@ Result<std::vector<api::ExpandResponse>> Server::ExpandBatch(
     const std::vector<api::ExpandRequest>& requests) {
   return RunBatch<api::ExpandRequest, api::ExpandResponse>(
       requests, "ExpandBatch",
-      [this](BatchExpanders* batch, const std::string& name,
-             const api::ExpandRequest& request)
+      [this](const api::GraphSnapshot& snapshot, BatchExpanders* batch,
+             const std::string& name, const api::ExpandRequest& request)
           -> Result<api::ExpandResponse> {
-        return ExpandResolved(name, request.keywords, request.overrides,
-                              batch);
+        return ExpandResolved(snapshot, name, request.keywords,
+                              request.overrides, batch);
       });
 }
 

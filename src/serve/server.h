@@ -30,6 +30,16 @@
 /// touches the mutable builder, so cold-miss latency stays flat as
 /// workers are added.
 ///
+/// Hot republish: every request pins the engine's current `GraphSnapshot`
+/// (`Engine::CurrentSnapshot`) once on its worker and serves entirely
+/// from that epoch — expander construction, expansion, and the cache key
+/// generation all use the pin, so `Engine::PublishSnapshot` racing a
+/// request can never mix graph versions within it.  Cache entries are
+/// stamped with the generation that computed them; entries from an older
+/// epoch are dropped on lookup (see expansion_cache.h), so a republish
+/// invalidates the cache without a sweep.  Batches pin once for the whole
+/// batch, keeping their responses mutually consistent.
+///
 /// The wrapped engine's registry is frozen at construction
 /// (`Engine::LockRegistry`): registering strategies while workers resolve
 /// names is unsupported.
@@ -209,12 +219,14 @@ class Server {
         WQE_GUARDED_BY(mu);
   };
 
-  /// Serves one expansion: cache lookup first, then — on a miss — the
-  /// lazily-built shared expander from `batch`, or a locally built one
-  /// when `batch` is null (the single-request path).
+  /// Serves one expansion on the pinned `snapshot`: cache lookup first
+  /// (generation-checked), then — on a miss — the lazily-built shared
+  /// expander from `batch`, or a locally built one when `batch` is null
+  /// (the single-request path).
   Result<api::ExpandResponse> ExpandResolved(
-      const std::string& resolved, const std::string& keywords,
-      const api::ExpanderOverrides& overrides, BatchExpanders* batch);
+      const api::GraphSnapshot& snapshot, const std::string& resolved,
+      const std::string& keywords, const api::ExpanderOverrides& overrides,
+      BatchExpanders* batch);
 
   Result<api::ExpandResponse> ExpandOne(const api::ExpandRequest& request);
   Result<api::QueryResponse> QueryOne(const api::QueryRequest& request);

@@ -33,6 +33,53 @@ const graph::CsrGraph& KnowledgeBase::csr() const {
   return csr_;
 }
 
+Result<KnowledgeBase> KnowledgeBase::FromSnapshot(
+    graph::CsrGraph csr, std::vector<std::string> labels,
+    std::vector<std::string> display_titles, size_t num_articles,
+    size_t num_redirects, size_t num_categories) {
+  const size_t n = csr.num_nodes();
+  if (labels.size() != n || display_titles.size() != n) {
+    return Status::InvalidArgument(
+        "snapshot carries ", labels.size(), " labels and ",
+        display_titles.size(), " display titles for ", n, " nodes");
+  }
+  const graph::CsrSections sections = csr.Sections();
+  if (num_articles + num_redirects != sections.node_kind_counts[0] ||
+      num_categories != sections.node_kind_counts[1]) {
+    return Status::InvalidArgument(
+        "snapshot entity counts (", num_articles, " articles + ",
+        num_redirects, " redirects, ", num_categories,
+        " categories) disagree with the graph's node kinds (",
+        sections.node_kind_counts[0], " articles, ",
+        sections.node_kind_counts[1], " categories)");
+  }
+  KnowledgeBase kb;
+  kb.csr_ = std::move(csr);
+  kb.frozen_ = true;
+  kb.loaded_ = true;
+  kb.num_articles_ = num_articles;
+  kb.num_redirects_ = num_redirects;
+  kb.num_categories_ = num_categories;
+  kb.display_titles_ = std::move(display_titles);
+  kb.loaded_labels_ = std::move(labels);
+  // Rebuild the title index exactly as the builder populated it: the raw
+  // label for articles, "category:"-prefixed for categories.
+  kb.title_index_.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    std::string key =
+        kb.csr_.IsCategory(u)
+            ? std::string(kCategoryPrefix) + kb.loaded_labels_[u]
+            : kb.loaded_labels_[u];
+    auto [it, inserted] = kb.title_index_.emplace(std::move(key), u);
+    if (!inserted) {
+      return Status::InvalidArgument("snapshot title '", it->first,
+                                     "' appears on nodes ", it->second,
+                                     " and ", u);
+    }
+  }
+  return kb;
+}
+
 Result<NodeId> KnowledgeBase::AddEntry(graph::NodeKind kind,
                                        std::string_view title,
                                        std::string_view index_key) {
@@ -130,7 +177,7 @@ std::optional<NodeId> KnowledgeBase::FindArticle(
     std::string_view normalized_title) const {
   auto it = title_index_.find(std::string(normalized_title));
   if (it == title_index_.end()) return std::nullopt;
-  if (!graph_.IsArticle(it->second)) return std::nullopt;
+  if (!IsArticleNode(it->second)) return std::nullopt;
   return it->second;
 }
 
@@ -291,6 +338,32 @@ std::vector<NodeId> KnowledgeBase::Neighborhood(
 }
 
 Status KnowledgeBase::Validate() const {
+  if (frozen_) {
+    // CSR path: the only one available in loaded mode, and equivalent to
+    // the builder path once frozen (Freeze preserves all edges).
+    for (NodeId n = 0; n < csr_.num_nodes(); ++n) {
+      if (!csr_.IsArticle(n)) continue;
+      if (csr_.RedirectTarget(n) != graph::kInvalidNode) {
+        if (csr_.OutDegree(n) != 1) {
+          return Status::Internal("redirect '", title(n),
+                                  "' has extra out-edges");
+        }
+        continue;
+      }
+      bool has_category = false;
+      for (graph::EdgeKind kind : csr_.OutKinds(n)) {
+        if (kind == graph::EdgeKind::kBelongs) {
+          has_category = true;
+          break;
+        }
+      }
+      if (!has_category) {
+        return Status::Internal("article '", title(n),
+                                "' belongs to no category");
+      }
+    }
+    return Status::OK();
+  }
   for (NodeId n = 0; n < graph_.num_nodes(); ++n) {
     if (!graph_.IsArticle(n)) continue;
     if (IsRedirect(n)) {

@@ -18,6 +18,13 @@
 /// across every serving thread.  All structural reads (redirect
 /// resolution, neighborhoods, link/category scans) take the flat CSR fast
 /// path once frozen.
+///
+/// A KB can also come up *loaded*: `FromSnapshot` reconstitutes a frozen
+/// KB from an on-disk snapshot (see snapshot/reader.h) without ever
+/// running the builder.  A loaded KB serves identically to a frozen one —
+/// same CSR, same titles, same index — but its `graph()` is empty (the
+/// builder edge lists are not serialized; nothing on the serving path
+/// reads them once frozen).
 
 #include <optional>
 #include <string>
@@ -64,6 +71,18 @@ class KnowledgeBase {
 
   /// \brief Adds category→parent-category nesting.
   Status AddInside(NodeId category, NodeId parent);
+
+  /// \brief Reconstitutes a frozen KB from snapshot sections (the
+  /// `snapshot::Reader` path).  `labels`/`display_titles` are per-node,
+  /// parallel to `csr`'s node ids; the counts are the KB-level entity
+  /// tallies from the snapshot's meta section.  Rebuilds the title index
+  /// (O(V)) and cross-checks the counts against the graph's node-kind
+  /// tallies — inconsistencies (duplicate titles, count drift) come back
+  /// as a `Status`, since they indicate a corrupt or hand-rolled file.
+  static Result<KnowledgeBase> FromSnapshot(
+      graph::CsrGraph csr, std::vector<std::string> labels,
+      std::vector<std::string> display_titles, size_t num_articles,
+      size_t num_redirects, size_t num_categories);
   /// @}
 
   /// \name Lookup
@@ -96,7 +115,9 @@ class KnowledgeBase {
   std::vector<NodeId> RedirectsOf(NodeId main) const;
 
   /// \brief Normalized title of a node.
-  const std::string& title(NodeId node) const { return graph_.label(node); }
+  const std::string& title(NodeId node) const {
+    return loaded_ ? loaded_labels_[node] : graph_.label(node);
+  }
 
   /// \brief Display title (original casing/punctuation).
   const std::string& display_title(NodeId node) const {
@@ -115,6 +136,9 @@ class KnowledgeBase {
 
   /// \name Graph access
   /// @{
+
+  /// \brief The builder graph.  Empty when the KB was loaded from a
+  /// snapshot (`loaded()`) — serving reads go through `csr()` instead.
   const graph::PropertyGraph& graph() const { return graph_; }
   size_t num_articles() const { return num_articles_; }
   size_t num_redirects() const { return num_redirects_; }
@@ -132,6 +156,10 @@ class KnowledgeBase {
   const graph::CsrGraph& csr() const;
 
   bool frozen() const { return frozen_; }
+
+  /// \brief True when this KB was reconstituted via `FromSnapshot`
+  /// (implies `frozen()`; the builder graph is empty).
+  bool loaded() const { return loaded_; }
   /// @}
 
   /// \brief Undirected BFS ball of radius `radius` around `sources`,
@@ -152,9 +180,19 @@ class KnowledgeBase {
   /// Fails when the KB is frozen (mutators call this first).
   Status CheckMutable() const;
 
+  /// Kind probe that works in every lifecycle state (builder, frozen,
+  /// loaded — the builder graph is empty in the last).
+  bool IsArticleNode(NodeId node) const {
+    return frozen_ ? csr_.IsArticle(node) : graph_.IsArticle(node);
+  }
+
   graph::PropertyGraph graph_;
   graph::CsrGraph csr_;
   bool frozen_ = false;
+  bool loaded_ = false;
+  /// Per-node normalized labels in loaded mode (the builder keeps them
+  /// in `graph_` otherwise).
+  std::vector<std::string> loaded_labels_;
   std::vector<std::string> display_titles_;
   std::unordered_map<std::string, NodeId> title_index_;
   size_t num_articles_ = 0;

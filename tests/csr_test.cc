@@ -29,20 +29,26 @@ namespace wqe::graph {
 /// Test-only backdoor (friend of CsrGraph): hands out mutable references
 /// to the private CSR arrays so the invariant tests can corrupt a frozen
 /// snapshot and prove `CheckInvariants` catches each violation class.
+/// The graph reads through spans bound to the heap-owned `CsrArrays`
+/// block, so in-place element mutation through these references is
+/// visible to it; resizing would dangle the spans — the tests only
+/// swap/assign elements.
 struct CsrGraphTestPeer {
   static std::vector<uint64_t>& out_offsets(CsrGraph& g) {
-    return g.out_offsets_;
+    return g.owned_->out_offsets;
   }
   static std::vector<NodeId>& out_targets(CsrGraph& g) {
-    return g.out_targets_;
+    return g.owned_->out_targets;
   }
   static std::vector<NodeId>& redirect_target(CsrGraph& g) {
-    return g.redirect_target_;
+    return g.owned_->redirect_target;
   }
   static std::vector<NodeId>& und_neighbors(CsrGraph& g) {
-    return g.und_neighbors_;
+    return g.owned_->und_neighbors;
   }
-  static std::vector<uint32_t>& und_mult(CsrGraph& g) { return g.und_mult_; }
+  static std::vector<uint32_t>& und_mult(CsrGraph& g) {
+    return g.owned_->und_mult;
+  }
 };
 
 namespace {
